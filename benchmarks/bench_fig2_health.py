@@ -1,0 +1,54 @@
+"""Benchmark regenerating paper Figure 2 (HEALTH error panels).
+
+Same structure as bench_fig1_census, on the 100k-record HEALTH dataset
+with patterns up to length 7.
+"""
+
+import pytest
+from conftest import once
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import render_series_table
+from repro.experiments.runner import run_mechanism
+from repro.mining.reconstructing import mine_exact
+
+CONFIG = ExperimentConfig(seed=20050406)
+_RUNS = {}
+
+
+@pytest.fixture(scope="module")
+def true_result(health):
+    return mine_exact(health, CONFIG.min_support)
+
+
+@pytest.mark.parametrize("mechanism", CONFIG.mechanisms)
+def test_fig2_mechanism_pipeline(benchmark, health, true_result, mechanism):
+    run = once(
+        benchmark,
+        lambda: run_mechanism(health, mechanism, CONFIG, true_result=true_result),
+    )
+    _RUNS[mechanism] = run
+    assert run.errors.lengths(), "pipeline produced per-length errors"
+
+
+def test_fig2_collate_panels(benchmark, report):
+    assert set(_RUNS) == set(CONFIG.mechanisms), "run the whole module"
+    panels = {
+        "fig2a_support_error_rho": {m: _RUNS[m].errors.rho for m in _RUNS},
+        "fig2b_false_negatives": {m: _RUNS[m].errors.sigma_minus for m in _RUNS},
+        "fig2c_false_positives": {m: _RUNS[m].errors.sigma_plus for m in _RUNS},
+    }
+    rendered = benchmark(
+        lambda: {name: render_series_table(series) for name, series in panels.items()}
+    )
+    for name, text in rendered.items():
+        report(name, text)
+
+    rho = panels["fig2a_support_error_rho"]
+    assert rho["MASK"][7] > 1e4, "MASK support error explodes (paper ~1e5-1e6)"
+    assert rho["C&P"][7] > 300, "C&P support error explodes beyond its cut"
+    assert rho["DET-GD"][7] < 300, "DET-GD support error stays bounded"
+    assert rho["MASK"][3] > rho["DET-GD"][3], "crossover by length 3 (paper Fig 2a)"
+    sigma_minus = panels["fig2b_false_negatives"]
+    assert sigma_minus["DET-GD"][7] < 70.0, "DET-GD still finds length-7 itemsets"
+    assert sigma_minus["C&P"][7] > sigma_minus["DET-GD"][7], "C&P degrades more"

@@ -1,0 +1,36 @@
+"""Benchmark regenerating paper Figure 4 (condition numbers).
+
+Condition number of each mechanism's reconstruction matrix versus
+itemset length, for the CENSUS and HEALTH schemas at gamma=19.
+
+Expected shape (identical to the paper, since this is analytic):
+DET-GD/RAN-GD flat at 1 + |S_U|/(gamma-1) (112.1 / 417.7); MASK
+exponential in length; C&P explosive beyond its cut size K=3 (the
+matrix becomes rank-deficient -- reported as the numerical SVD value).
+"""
+
+import pytest
+from conftest import once
+
+from repro.experiments.figures import figure4
+from repro.experiments.reporting import render_series_table
+
+
+@pytest.mark.parametrize("dataset_name", ["CENSUS", "HEALTH"])
+def test_fig4_condition_numbers(benchmark, dataset_name, report):
+    series = once(benchmark, lambda: figure4(dataset_name))
+    panel = "a" if dataset_name == "CENSUS" else "b"
+    report(
+        f"fig4{panel}_condition_numbers_{dataset_name.lower()}",
+        render_series_table(series),
+    )
+
+    det = series["DET-GD"]
+    flat = 112.1 if dataset_name == "CENSUS" else 417.7
+    assert all(v == pytest.approx(flat, abs=0.1) for v in det.values())
+    assert series["RAN-GD"] == det, "RAN-GD inverts the same expected matrix"
+
+    max_len = max(det)
+    assert series["MASK"][max_len] > 1e5, "MASK grows exponentially (paper ~1e5-1e7)"
+    assert series["C&P"][max_len] > 1e6, "C&P explodes beyond its cut size"
+    assert series["MASK"][1] < det[1], "crossover: MASK starts below DET-GD"

@@ -1,0 +1,72 @@
+"""Ablation benchmarks: the design space around the paper's setup.
+
+DESIGN.md calls out three knobs the paper fixes; these benches sweep
+them:
+
+* privacy level ``gamma`` (paper: 19) -- accuracy should degrade as
+  gamma shrinks (stricter privacy);
+* dataset size ``N`` -- reconstruction error shrinks with ``sqrt(N)``;
+* the future-work classification task versus gamma.
+"""
+
+import math
+
+import numpy as np
+from conftest import once
+
+from repro.data.census import generate_census
+from repro.data.health import generate_health
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import render_series_table
+from repro.experiments.sweeps import (
+    classification_sweep,
+    gamma_sweep,
+    sample_size_sweep,
+)
+
+SEED_CONFIG = ExperimentConfig(seed=20050408)
+
+
+def test_gamma_sweep_census(benchmark, report):
+    data = generate_census(25_000)
+    series = once(
+        benchmark,
+        lambda: gamma_sweep(data, length=4, config=SEED_CONFIG),
+    )
+    report("ablation_gamma_sweep_census", render_series_table(series, x_label="gamma"))
+    rho = series["rho"]
+    valid = {g: v for g, v in rho.items() if not math.isnan(v)}
+    # Monotone tendency: the strictest privacy level is the least
+    # accurate, the loosest the most accurate.
+    assert valid[min(valid)] > valid[max(valid)]
+
+
+def test_sample_size_sweep_census(benchmark, report):
+    series = once(
+        benchmark,
+        lambda: sample_size_sweep(
+            generate_census, sizes=(5_000, 20_000, 50_000), config=SEED_CONFIG
+        ),
+    )
+    report("ablation_sample_size_sweep", render_series_table(series, x_label="N"))
+    rho = series["rho"]
+    assert rho[50_000] < rho[5_000], "error shrinks with sample size"
+
+
+def test_classification_sweep_health(benchmark, report):
+    train = generate_health(40_000, seed=11)
+    test = generate_health(10_000, seed=12)
+    series = once(
+        benchmark,
+        lambda: classification_sweep(
+            train, test, "HEALTH", gammas=(9.0, 19.0, 49.0, 199.0), seed=13
+        ),
+    )
+    report(
+        "ablation_classification_sweep",
+        render_series_table(series, x_label="gamma"),
+    )
+    private = series["private"]
+    exact = next(iter(series["exact"].values()))
+    assert private[199.0] > private[9.0], "looser privacy, better classifier"
+    assert private[199.0] <= exact + 0.02, "private never beats exact (materially)"

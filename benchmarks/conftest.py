@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has a benchmark that (a) times the
+regeneration via pytest-benchmark and (b) prints the regenerated
+series next to the paper's values (run with ``-s`` to see them) and
+writes them under ``benchmarks/results/``.
+
+Dataset sizes default to the paper's (50k CENSUS / 100k HEALTH); set
+``REPRO_SCALE=0.1`` for a quick smoke pass.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.data.census import CENSUS_N_RECORDS, generate_census
+from repro.data.health import HEALTH_N_RECORDS, generate_health
+from repro.experiments.config import dataset_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def census():
+    """The paper-scale CENSUS dataset (honours $REPRO_SCALE)."""
+    return generate_census(int(CENSUS_N_RECORDS * dataset_scale()))
+
+
+@pytest.fixture(scope="session")
+def health():
+    """The paper-scale HEALTH dataset (honours $REPRO_SCALE)."""
+    return generate_health(int(HEALTH_N_RECORDS * dataset_scale()))
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        print(f"\n=== {name} ===\n{text}")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return emit
+
+
+def once(benchmark, func):
+    """Run an expensive experiment exactly once under the timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+"""Additive-noise perturbation on continuous data (Agrawal-Srikant 2000).
+
+The historical starting point of privacy-preserving mining and the
+FRAPP paper's reference [3]: clients add random noise to a continuous
+value (here: age), and the miner reconstructs the age *distribution*
+with the iterative Bayesian (EM) procedure.  The reconstructed
+histogram is then discretized with the same equi-width bins the FRAPP
+CENSUS schema uses -- connecting the continuous and categorical worlds
+of the repo.
+
+Run:  python examples/continuous_reconstruction.py
+"""
+
+import numpy as np
+
+from repro.baselines.additive_noise import AdditiveNoisePerturbation
+from repro.data.discretize import equiwidth_edges, interval_labels
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # A plausible adult age distribution (mixture of working-age cohorts).
+    n = 40_000
+    ages = np.concatenate(
+        [
+            rng.normal(28, 6, size=int(n * 0.45)),
+            rng.normal(45, 8, size=int(n * 0.38)),
+            rng.normal(64, 7, size=int(n * 0.17)),
+        ]
+    )
+    ages = np.clip(ages, 15, 95)
+
+    # Clients add uniform noise of +/- 20 years before disclosure.
+    operator = AdditiveNoisePerturbation(scale=20.0, kind="uniform")
+    disclosed = operator.perturb(ages, seed=rng)
+    print(
+        f"perturbation: uniform +/- {operator.scale:.0f} years "
+        f"(95% interval privacy = {operator.interval_privacy(0.95):.0f} years)"
+    )
+
+    # Miner-side reconstruction on a fine grid, then the paper's bins.
+    fine_edges = np.linspace(15, 95, 41)
+    estimate = operator.reconstruct_distribution(disclosed, fine_edges)
+
+    paper_edges = equiwidth_edges(15, 95, 4)
+    labels = interval_labels(paper_edges)
+    fine_mid = 0.5 * (fine_edges[:-1] + fine_edges[1:])
+    truth_hist, _ = np.histogram(ages, bins=paper_edges)
+    truth = truth_hist / truth_hist.sum()
+    raw_hist, _ = np.histogram(np.clip(disclosed, 15, 95 - 1e-9), bins=paper_edges)
+    raw = raw_hist / raw_hist.sum()
+
+    print(f"\n{'age bin':>10} {'true':>7} {'raw noisy':>10} {'reconstructed':>14}")
+    for b, label in enumerate(labels):
+        mask = (fine_mid >= paper_edges[b]) & (fine_mid < paper_edges[b + 1])
+        rebuilt = estimate[mask].sum()
+        print(f"{label:>10} {truth[b]:>7.1%} {raw[b]:>10.1%} {rebuilt:>14.1%}")
+
+    recon_binned = np.array(
+        [
+            estimate[(fine_mid >= paper_edges[b]) & (fine_mid < paper_edges[b + 1])].sum()
+            for b in range(4)
+        ]
+    )
+    print(
+        f"\nL1 distance to truth: raw noisy histogram "
+        f"{np.abs(raw - truth).sum():.3f} vs reconstructed "
+        f"{np.abs(recon_binned - truth).sum():.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

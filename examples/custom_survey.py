@@ -1,0 +1,82 @@
+"""Bring your own schema: a private two-question survey.
+
+Shows the lower-level FRAPP API on user-defined data, without the
+mining layer:
+
+* define a schema, collect (synthetic) answers;
+* perturb at the "client side" with the gamma-diagonal matrix;
+* reconstruct the full joint distribution at the "server side";
+* cross-check the single-attribute case against Warner's classic
+  randomized-response estimator, which FRAPP contains as its n=2
+  special case.
+
+Run:  python examples/custom_survey.py
+"""
+
+import numpy as np
+
+from repro import (
+    Attribute,
+    CategoricalDataset,
+    GammaDiagonalPerturbation,
+    Schema,
+    WarnerRandomizedResponse,
+    reconstruct_counts,
+)
+from repro.core import GammaDiagonalMatrix
+
+
+def main() -> None:
+    rng = np.random.default_rng(2005)
+
+    # A small sensitive survey: smoking status x income bracket.
+    schema = Schema(
+        [
+            Attribute("smokes", ["never", "former", "current"]),
+            Attribute("income", ["low", "middle", "high"]),
+        ]
+    )
+    # Ground truth the server should never see record-by-record.
+    n = 40_000
+    smokes = rng.choice(3, size=n, p=[0.55, 0.25, 0.20])
+    income = np.where(
+        smokes == 2,
+        rng.choice(3, size=n, p=[0.45, 0.40, 0.15]),   # smokers skew lower
+        rng.choice(3, size=n, p=[0.30, 0.45, 0.25]),
+    )
+    data = CategoricalDataset(schema, np.stack([smokes, income], axis=1))
+
+    # Client side: gamma = 9 ~ (rho1, rho2) = (10%, 50%).
+    gamma = 9.0
+    perturbation = GammaDiagonalPerturbation(schema, gamma)
+    perturbed = perturbation.perturb(data, seed=rng)
+
+    # Server side: reconstruct the joint distribution from Y = A X.
+    estimate = reconstruct_counts(perturbation.matrix, perturbed.joint_counts())
+    truth = data.joint_counts()
+
+    print(f"schema: {schema.joint_size} joint cells, gamma = {gamma:g}")
+    print(f"{'cell':>22} {'true %':>8} {'reconstructed %':>16}")
+    for cell in range(schema.joint_size):
+        s, i = schema.decode(np.array([cell]))[0]
+        label = f"{schema[0].categories[s]}/{schema[1].categories[i]}"
+        print(f"{label:>22} {truth[cell] / n:>8.2%} {estimate[cell] / n:>16.2%}")
+
+    # Sanity anchor: one binary question, Warner (1965) vs FRAPP.
+    sensitive = (rng.random(n) < 0.23).astype(int)
+    warner = WarnerRandomizedResponse(p=0.75)
+    responses = warner.perturb(sensitive, seed=rng)
+    warner_estimate = warner.estimate_proportion(responses)
+
+    counts = np.bincount(responses, minlength=2).astype(float)
+    frapp_matrix = GammaDiagonalMatrix(n=2, gamma=warner.gamma)
+    frapp_estimate = reconstruct_counts(frapp_matrix, counts)[1] / n
+
+    print(
+        f"\nWarner check: true 23.0% | Warner estimator {warner_estimate:.1%} | "
+        f"FRAPP n=2 reconstruction {frapp_estimate:.1%} (identical by theory)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""End-to-end association rules from privacy-preserving mining (HEALTH).
+
+The paper's motivating scenario: a company mines correlations in
+medical records that patients refuse to hand over in the clear
+("adult females with malarial infections are also prone to contract
+tuberculosis").  This example mines association rules from the HEALTH
+database *after* every record has been perturbed under a strict
+gamma = 19 guarantee, and compares the top rules against the ones found
+on the original data.
+
+Run:  python examples/health_rules.py [n_records]
+"""
+
+import sys
+
+from repro import DetGDMiner, generate_health, mine_exact
+from repro.mining import association_rules
+
+
+def show_rules(title: str, rules, schema, limit: int = 8) -> None:
+    print(title)
+    if not rules:
+        print("  (none)")
+    for rule in rules[:limit]:
+        print(
+            f"  {rule.label(schema):70s} "
+            f"conf={rule.confidence:5.1%} sup={rule.support:5.1%} lift={rule.lift:4.2f}"
+        )
+
+
+def main() -> None:
+    n_records = int(sys.argv[1]) if len(sys.argv) > 1 else 50_000
+    data = generate_health(n_records)
+    schema = data.schema
+    min_support, min_confidence = 0.05, 0.75
+
+    truth = mine_exact(data, min_support)
+    true_rules = association_rules(truth, min_confidence)
+    show_rules("rules mined from the ORIGINAL database:", true_rules, schema)
+
+    miner = DetGDMiner(schema, gamma=19.0)
+    private = miner.mine(data, min_support, seed=3)
+    private_rules = association_rules(private, min_confidence)
+    show_rules(
+        "\nrules mined from the PERTURBED database (gamma=19):",
+        private_rules,
+        schema,
+    )
+
+    true_set = {(r.antecedent, r.consequent) for r in true_rules}
+    private_set = {(r.antecedent, r.consequent) for r in private_rules}
+    if true_set:
+        recovered = len(true_set & private_set) / len(true_set)
+        print(f"\nrecovered {recovered:.0%} of the original rules "
+              f"({len(private_set - true_set)} spurious).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Mechanism shoot-out on CENSUS: the paper's Figure 1 in miniature.
+
+Runs DET-GD, RAN-GD, MASK and Cut-and-Paste on the same CENSUS-like
+database under the same gamma=19 privacy guarantee and prints the three
+error panels (support error, false negatives, false positives) per
+itemset length.
+
+Run:  python examples/mechanism_comparison.py [n_records]
+"""
+
+import sys
+
+from repro import generate_census
+from repro.experiments import ExperimentConfig, run_comparison
+from repro.experiments.reporting import render_series_table
+
+
+def main() -> None:
+    n_records = int(sys.argv[1]) if len(sys.argv) > 1 else 25_000
+    data = generate_census(n_records)
+    config = ExperimentConfig(seed=99)
+    print(f"running {', '.join(config.mechanisms)} on {data} (gamma={config.gamma:g})\n")
+
+    runs = run_comparison(data, config)
+
+    print("support error rho (%) -- paper Fig. 1(a); log-scale in the paper:")
+    print(render_series_table({name: run.errors.rho for name, run in runs.items()}))
+
+    print("\nfalse negatives sigma- (%) -- paper Fig. 1(b):")
+    print(
+        render_series_table(
+            {name: run.errors.sigma_minus for name, run in runs.items()}
+        )
+    )
+
+    print("\nfalse positives sigma+ (%) -- paper Fig. 1(c):")
+    print(
+        render_series_table(
+            {name: run.errors.sigma_plus for name, run in runs.items()}
+        )
+    )
+
+    print(
+        "\nreading: MASK and C&P stop finding itemsets beyond length 3-4 "
+        "(sigma- hits 100%), while the gamma-diagonal mechanisms keep "
+        "discovering the long patterns -- the paper's headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: perturb a database under strict privacy, then mine it.
+
+Walks the core FRAPP loop in a few lines:
+
+1. pick a privacy requirement (rho1, rho2) -> amplification bound gamma;
+2. clients perturb their records with the gamma-diagonal matrix;
+3. the miner reconstructs frequent itemsets from the perturbed data;
+4. compare against mining the original data.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DetGDMiner,
+    PrivacyRequirement,
+    evaluate_mining,
+    generate_census,
+    mine_exact,
+)
+
+
+def main() -> None:
+    # The paper's running privacy requirement: properties with prior
+    # probability < 5% may never gain posterior probability > 50%.
+    requirement = PrivacyRequirement(rho1=0.05, rho2=0.50)
+    print(f"privacy requirement (rho1, rho2) = (5%, 50%)  ->  gamma = {requirement.gamma:g}")
+
+    # A CENSUS-like categorical database (see repro.data.census).
+    data = generate_census(n_records=25_000, seed=11)
+    print(f"database: {data}")
+
+    # DET-GD = perturb with the optimal gamma-diagonal matrix, mine with
+    # Apriori + per-pass support reconstruction.
+    miner = DetGDMiner(data.schema, gamma=requirement.gamma)
+    mined = miner.mine(data, min_support=0.02, seed=12)
+
+    # Reference: exact mining on the original data.
+    truth = mine_exact(data, min_support=0.02)
+
+    print("\nfrequent itemsets per length (true vs reconstructed):")
+    for length in sorted(truth.by_length):
+        true_count = len(truth.by_length[length])
+        found_count = len(mined.by_length.get(length, {}))
+        print(f"  length {length}: {true_count:4d} true, {found_count:4d} reconstructed")
+
+    errors = evaluate_mining(truth, mined)
+    print("\nper-length errors (paper Section 7 metrics):")
+    for length in errors.lengths():
+        print(
+            f"  length {length}: support error rho = {errors.rho[length]:7.1f}%   "
+            f"sigma- = {errors.sigma_minus[length]:5.1f}%   "
+            f"sigma+ = {errors.sigma_plus[length]:5.1f}%"
+        )
+
+    # The privacy side: what the perturbation actually did.
+    perturbation = miner.perturbation
+    print(
+        f"\nunder the hood: each record was kept with probability "
+        f"{perturbation.matrix.keep_probability:.4f} and otherwise replaced "
+        f"by a uniformly random record -- yet supports are recoverable, because "
+        f"the reconstruction matrix has condition number "
+        f"{perturbation.matrix.condition_number():.1f} (the provable optimum)."
+    )
+
+
+if __name__ == "__main__":
+    main()

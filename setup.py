@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel``
+package, so PEP-517 editable installs (which build a wheel) fail.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
+take the classic ``setup.py develop`` path; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

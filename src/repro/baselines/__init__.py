@@ -1,0 +1,40 @@
+"""Baseline perturbation mechanisms the paper compares against.
+
+* :mod:`repro.baselines.mask` -- MASK (Rizvi & Haritsa, VLDB 2002);
+* :mod:`repro.baselines.cut_and_paste` -- the Cut-and-Paste operator
+  (Evfimievski et al., KDD 2002);
+* :mod:`repro.baselines.warner` -- Warner's randomized response, the
+  ``n = 2`` special case of the gamma-diagonal matrix.
+"""
+
+from repro.baselines.additive_noise import AdditiveNoisePerturbation
+from repro.baselines.cut_and_paste import (
+    CutAndPastePerturbation,
+    cut_size_distribution,
+    partial_support_matrix,
+    rho_for_gamma,
+    transition_probability,
+)
+from repro.baselines.mask import (
+    MaskPerturbation,
+    bit_matrix,
+    itemset_condition_number,
+    itemset_matrix,
+    mask_p_for_gamma,
+)
+from repro.baselines.warner import WarnerRandomizedResponse
+
+__all__ = [
+    "AdditiveNoisePerturbation",
+    "CutAndPastePerturbation",
+    "MaskPerturbation",
+    "WarnerRandomizedResponse",
+    "bit_matrix",
+    "cut_size_distribution",
+    "itemset_condition_number",
+    "itemset_matrix",
+    "mask_p_for_gamma",
+    "partial_support_matrix",
+    "rho_for_gamma",
+    "transition_probability",
+]

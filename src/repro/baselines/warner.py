@@ -1,0 +1,72 @@
+"""Warner's randomized response (1965) -- the binary sanity anchor.
+
+For a single binary attribute, the classic randomized-response protocol
+("answer truthfully with probability p, else lie") has transition
+matrix ``[[p, 1-p], [1-p, p]]`` -- exactly the gamma-diagonal matrix
+with ``n = 2`` and ``gamma = p/(1-p)``.  The module exists to make that
+degenerate-case correspondence executable: tests pin the FRAPP
+machinery against the textbook Warner estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gamma_diagonal import GammaDiagonalMatrix
+from repro.exceptions import DataError, MatrixError
+from repro.stats.rng import as_generator
+
+
+class WarnerRandomizedResponse:
+    """Randomized response over a single 0/1 attribute.
+
+    Parameters
+    ----------
+    p:
+        Probability of answering truthfully; must be in ``(1/2, 1)``
+        for the mechanism to carry information (``p = 1/2`` is pure
+        noise, ``p = 1`` is no privacy).
+    """
+
+    def __init__(self, p: float):
+        if not 0.5 < p < 1.0:
+            raise MatrixError(f"p must lie in (1/2, 1), got {p}")
+        self.p = float(p)
+
+    @property
+    def gamma(self) -> float:
+        """Amplification of the Warner matrix: ``p / (1 - p)``."""
+        return self.p / (1.0 - self.p)
+
+    def as_gamma_diagonal(self) -> GammaDiagonalMatrix:
+        """The equivalent ``n = 2`` gamma-diagonal matrix.
+
+        ``x = 1/(gamma + 1) = 1 - p`` and ``gamma*x = p``: identical
+        entries, so FRAPP subsumes Warner as its smallest special case.
+        """
+        return GammaDiagonalMatrix(n=2, gamma=self.gamma)
+
+    def perturb(self, answers, seed=None) -> np.ndarray:
+        """Flip each 0/1 answer with probability ``1 - p``."""
+        answers = np.asarray(answers)
+        if answers.ndim != 1:
+            raise DataError(f"answers must be 1-D, got shape {answers.shape}")
+        if answers.size and not np.isin(answers, (0, 1)).all():
+            raise DataError("answers must be 0/1")
+        rng = as_generator(seed)
+        flips = rng.random(answers.shape) < (1.0 - self.p)
+        return np.where(flips, 1 - answers, answers).astype(np.int8)
+
+    def estimate_proportion(self, perturbed) -> float:
+        """Textbook Warner estimator of the true 1-proportion.
+
+        ``pi_hat = (lambda_hat + p - 1) / (2p - 1)`` where
+        ``lambda_hat`` is the observed 1-proportion.  Tests verify this
+        equals FRAPP reconstruction with the equivalent gamma-diagonal
+        matrix.
+        """
+        perturbed = np.asarray(perturbed)
+        if perturbed.size == 0:
+            raise DataError("empty response vector")
+        lam = float(perturbed.mean())
+        return (lam + self.p - 1.0) / (2.0 * self.p - 1.0)

@@ -1,0 +1,116 @@
+"""Estimation-error analysis (paper Sections 2.3 and 4.2).
+
+Theorem 1 bounds the relative reconstruction error by
+``cond(A) * ||Y - E[Y]|| / ||E[Y]||``: the two error sources are the
+matrix's condition number and the Poisson-Binomial fluctuation of the
+perturbed counts.  This module computes both pieces:
+
+* :func:`perturbed_count_variance` -- ``Var(Y_v)`` in the paper's
+  Eq.-10 form and in the direct Bernoulli form (the two are proved
+  equal; tests assert it).
+* :func:`theorem1_bound` -- the right-hand side of Eq. (9)/(24).
+* :func:`randomization_variance_split` -- the Section-4.2
+  decomposition ``||Y - E[E[Y]]|| <= ||Y - E[Y]|| + ||(A_bar - A) X||``
+  that explains why RAN-GD's accuracy cost is marginal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReconstructionError
+
+
+def expected_perturbed_counts(matrix, original_counts) -> np.ndarray:
+    """``E[Y] = A X`` (paper Eq. 6)."""
+    original_counts = np.asarray(original_counts, dtype=float)
+    if hasattr(matrix, "matvec"):
+        return matrix.matvec(original_counts)
+    return np.asarray(matrix, dtype=float) @ original_counts
+
+
+def perturbed_count_variance(row_probs, original_counts) -> float:
+    """``Var(Y_v)`` for one perturbed value ``v`` (paper Eq. 10).
+
+    Parameters
+    ----------
+    row_probs:
+        Row ``v`` of the perturbation matrix: ``A[v, u]`` for each
+        original value ``u``.
+    original_counts:
+        The original count vector ``X``.
+
+    Notes
+    -----
+    ``Y_v`` is Poisson-Binomial with ``X_u`` trials at probability
+    ``A[v,u]`` each, so directly
+    ``Var = sum_u X_u A[v,u] (1 - A[v,u])``.  The paper's Eq.-10 form is
+    algebraically identical; see :func:`variance_eq10_form`.
+    """
+    row = np.asarray(row_probs, dtype=float)
+    counts = np.asarray(original_counts, dtype=float)
+    if row.shape != counts.shape:
+        raise ReconstructionError(
+            f"row/count shape mismatch: {row.shape} vs {counts.shape}"
+        )
+    return float((counts * row * (1.0 - row)).sum())
+
+
+def variance_eq10_form(row_probs, original_counts) -> float:
+    """``Var(Y_v)`` written exactly as the paper's Eq. (10).
+
+    ``A_v X (1 - A_v X / N) - sum_u (A_vu - A_v X / N)^2 X_u`` with
+    ``N = sum_u X_u``.  Kept verbatim so tests can assert equality with
+    the direct Bernoulli form.
+    """
+    row = np.asarray(row_probs, dtype=float)
+    counts = np.asarray(original_counts, dtype=float)
+    n = counts.sum()
+    if n <= 0:
+        return 0.0
+    mean = float(row @ counts)
+    return float(mean * (1.0 - mean / n) - ((row - mean / n) ** 2 * counts).sum())
+
+
+def theorem1_bound(condition_number: float, observed, expected) -> float:
+    """Right-hand side of Eq. (9): ``c * ||Y - E[Y]|| / ||E[Y]||``.
+
+    An upper bound on the relative reconstruction error
+    ``||X̂ - X|| / ||X||``.
+    """
+    observed = np.asarray(observed, dtype=float)
+    expected = np.asarray(expected, dtype=float)
+    denom = np.linalg.norm(expected)
+    if denom == 0:
+        raise ReconstructionError("expected counts are identically zero")
+    return float(condition_number * np.linalg.norm(observed - expected) / denom)
+
+
+def relative_reconstruction_error(estimate, truth) -> float:
+    """Observed relative error ``||X̂ - X|| / ||X||`` (Theorem 1 LHS)."""
+    estimate = np.asarray(estimate, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    denom = np.linalg.norm(truth)
+    if denom == 0:
+        raise ReconstructionError("true counts are identically zero")
+    return float(np.linalg.norm(estimate - truth) / denom)
+
+
+def randomization_variance_split(observed, realized_expectation, design_expectation):
+    """Section-4.2 error split for randomized matrices.
+
+    ``||Y - E[E[Y]]|| <= ||Y - E[Y]|| + ||E[Y] - E[E[Y]]||`` where
+    ``E[Y] = A_bar X`` uses the *realized* per-client matrices and
+    ``E[E[Y]] = A X`` the design expectation.  Returns the triple
+    ``(total, fluctuation, bias)``: ``total`` is what enters the RAN-GD
+    bound (Eq. 24), ``fluctuation`` shrinks relative to DET-GD (variance
+    reduction through non-identical trials), and ``bias`` is the new
+    ``(A_bar - A) X`` term that is zero in the deterministic case.
+    """
+    observed = np.asarray(observed, dtype=float)
+    realized = np.asarray(realized_expectation, dtype=float)
+    design = np.asarray(design_expectation, dtype=float)
+    total = float(np.linalg.norm(observed - design))
+    fluctuation = float(np.linalg.norm(observed - realized))
+    bias = float(np.linalg.norm(realized - design))
+    return total, fluctuation, bias

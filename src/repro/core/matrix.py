@@ -1,0 +1,97 @@
+"""Perturbation-matrix interfaces.
+
+A perturbation matrix ``A`` has ``A[v, u] = p(u -> v)``: columns indexed
+by original values, rows by perturbed values, columns summing to one
+(paper Eq. 1).  Two concrete families live elsewhere
+(:mod:`repro.core.gamma_diagonal` for the paper's optimal choice,
+baseline-specific matrices under :mod:`repro.baselines`); this module
+defines the shared interface plus a dense implementation for
+user-supplied matrices and small analytical studies.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.privacy import amplification
+from repro.exceptions import MatrixError
+from repro.stats.linalg import condition_number as dense_condition_number
+from repro.stats.linalg import markov_violation
+
+
+class PerturbationMatrix(abc.ABC):
+    """Abstract interface for a transition matrix over a value domain."""
+
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Domain size (the matrix is ``n x n``)."""
+
+    @abc.abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full matrix (may be large)."""
+
+    @abc.abstractmethod
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` -- the reconstruction step of Eq. (8)."""
+
+    @abc.abstractmethod
+    def condition_number(self) -> float:
+        """Condition number governing the Theorem-1 error bound."""
+
+    def amplification(self) -> float:
+        """Largest within-row entry ratio (privacy audit, Eq. 2)."""
+        return amplification(self.to_dense())
+
+    def matvec(self, vector: np.ndarray) -> np.ndarray:
+        """``A @ vector`` (default: dense product; subclasses override)."""
+        return self.to_dense() @ np.asarray(vector, dtype=float)
+
+
+class DensePerturbationMatrix(PerturbationMatrix):
+    """A perturbation matrix stored as an explicit numpy array.
+
+    Validates the Markov conditions of paper Eq. (1) on construction.
+    Suitable for small domains (baseline analyses, tests); the
+    gamma-diagonal family should be used through its closed forms
+    instead.
+    """
+
+    def __init__(self, matrix, atol: float = 1e-9):
+        matrix = np.array(matrix, dtype=float, copy=True)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise MatrixError(f"perturbation matrix must be square, got {matrix.shape}")
+        violation = markov_violation(matrix)
+        if violation > atol:
+            raise MatrixError(
+                f"matrix violates the Markov conditions of Eq. (1) by {violation:.3g}"
+            )
+        matrix.setflags(write=False)
+        self._matrix = matrix
+
+    @property
+    def n(self) -> int:
+        return int(self._matrix.shape[0])
+
+    def to_dense(self) -> np.ndarray:
+        return self._matrix
+
+    def matvec(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.n,):
+            raise MatrixError(f"expected shape ({self.n},), got {vector.shape}")
+        return self._matrix @ vector
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape != (self.n,):
+            raise MatrixError(f"expected shape ({self.n},), got {rhs.shape}")
+        try:
+            return np.linalg.solve(self._matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise MatrixError(f"singular perturbation matrix: {exc}") from exc
+
+    def condition_number(self) -> float:
+        return dense_condition_number(self._matrix)

@@ -1,0 +1,130 @@
+"""Privacy guarantees: the (rho1, rho2) amplification measure.
+
+FRAPP adopts the strict privacy-breach measure of Evfimievski, Gehrke
+and Srikant (PODS 2003): a perturbation gives an *upward
+(rho1, rho2)-privacy guarantee* when no property with prior probability
+below ``rho1`` can acquire posterior probability above ``rho2``.  For a
+perturbation matrix ``A`` this holds iff the "amplification" -- the
+largest ratio between two entries in the same row -- is at most
+
+    ``gamma = rho2 (1 - rho1) / (rho1 (1 - rho2))``        (paper Eq. 2)
+
+This module computes ``gamma`` from ``(rho1, rho2)``, audits arbitrary
+matrices against it, and evaluates the worst-case posterior formula of
+paper Section 4.1 that underlies the DET-GD vs RAN-GD comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import MatrixError, PrivacyError
+
+
+def gamma_from_rho(rho1: float, rho2: float) -> float:
+    """The amplification bound ``gamma`` implied by ``(rho1, rho2)``.
+
+    Paper Eq. (2): ``gamma = rho2 (1 - rho1) / (rho1 (1 - rho2))``.
+    The paper's running example ``(5%, 50%)`` gives ``gamma = 19``.
+
+    Raises
+    ------
+    PrivacyError
+        If the pair is not a meaningful breach threshold
+        (``0 < rho1 < rho2 < 1``).
+    """
+    if not 0.0 < rho1 < 1.0 or not 0.0 < rho2 < 1.0:
+        raise PrivacyError(f"rho1 and rho2 must lie in (0, 1), got ({rho1}, {rho2})")
+    if rho1 >= rho2:
+        raise PrivacyError(
+            f"need rho1 < rho2 for a non-trivial guarantee, got ({rho1}, {rho2})"
+        )
+    return (rho2 * (1.0 - rho1)) / (rho1 * (1.0 - rho2))
+
+
+def rho2_from_gamma(rho1: float, gamma: float) -> float:
+    """Invert :func:`gamma_from_rho`: the posterior bound for a prior.
+
+    ``rho2 = gamma*rho1 / (1 + (gamma - 1) rho1)`` -- the worst-case
+    posterior achievable for any property with prior ``rho1`` under an
+    amplification-``gamma`` matrix.
+    """
+    if not 0.0 < rho1 < 1.0:
+        raise PrivacyError(f"rho1 must lie in (0, 1), got {rho1}")
+    if gamma <= 1.0:
+        raise PrivacyError(f"gamma must exceed 1, got {gamma}")
+    return gamma * rho1 / (1.0 + (gamma - 1.0) * rho1)
+
+
+def worst_case_posterior(prior: float, max_p: float, min_p: float) -> float:
+    """Worst-case posterior probability of a property (paper Sec. 4.1).
+
+    ``P(Q|V=v) = prior*max_p / (prior*max_p + (1 - prior)*min_p)`` where
+    ``max_p``/``min_p`` are the largest transition probability into ``v``
+    from a record satisfying ``Q`` / the smallest from one violating it.
+    """
+    if not 0.0 <= prior <= 1.0:
+        raise PrivacyError(f"prior must lie in [0, 1], got {prior}")
+    if max_p < 0 or min_p < 0:
+        raise PrivacyError("transition probabilities must be non-negative")
+    numerator = prior * max_p
+    denominator = numerator + (1.0 - prior) * min_p
+    if denominator == 0.0:
+        raise PrivacyError("degenerate posterior: both branch probabilities are zero")
+    return numerator / denominator
+
+
+def amplification(matrix: np.ndarray) -> float:
+    """Largest within-row entry ratio of a perturbation matrix.
+
+    ``max_v max_{u1,u2} A[v,u1] / A[v,u2]`` -- the quantity bounded by
+    ``gamma`` in paper Eq. (2).  Rows that are identically zero are
+    skipped; a row mixing zero and non-zero entries has infinite
+    amplification.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise MatrixError(f"expected 2-D matrix, got shape {matrix.shape}")
+    if np.any(matrix < 0):
+        raise MatrixError("perturbation matrix entries must be non-negative")
+    worst = 1.0
+    for row in matrix:
+        hi = row.max()
+        if hi == 0.0:
+            continue
+        lo = row.min()
+        if lo == 0.0:
+            return float("inf")
+        worst = max(worst, hi / lo)
+    return float(worst)
+
+
+def satisfies_amplification(matrix: np.ndarray, gamma: float, rtol: float = 1e-9) -> bool:
+    """Whether ``matrix`` meets the Eq.-2 constraint for ``gamma``."""
+    return amplification(matrix) <= gamma * (1.0 + rtol)
+
+
+@dataclass(frozen=True)
+class PrivacyRequirement:
+    """A user-level privacy demand ``(rho1, rho2)``.
+
+    The paper's experiments use ``PrivacyRequirement(0.05, 0.50)``,
+    whose :attr:`gamma` is 19.
+    """
+
+    rho1: float
+    rho2: float
+
+    def __post_init__(self):
+        gamma_from_rho(self.rho1, self.rho2)  # validates
+
+    @property
+    def gamma(self) -> float:
+        """The amplification bound implied by this requirement."""
+        return gamma_from_rho(self.rho1, self.rho2)
+
+    def admits(self, matrix: np.ndarray) -> bool:
+        """Whether a perturbation matrix satisfies this requirement."""
+        return satisfies_amplification(matrix, self.gamma)

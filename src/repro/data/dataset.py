@@ -1,0 +1,179 @@
+"""The numpy-backed categorical dataset.
+
+A :class:`CategoricalDataset` is the paper's database
+``U = {U_i}_{i=1..N}`` with ``U_i`` in the joint index set ``I_U``.  We
+store records in the natural ``(N, M)`` per-attribute form and convert
+to/from joint indices through the schema on demand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.exceptions import DataError, SchemaError
+
+
+class CategoricalDataset:
+    """``N`` records over the ``M`` categorical attributes of a schema.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`~repro.data.schema.Schema` describing the columns.
+    records:
+        Integer array of shape ``(N, M)``; entry ``[i, j]`` is the
+        category index of attribute ``j`` in record ``i``.
+
+    Notes
+    -----
+    The record array is copied and made read-only, so datasets are
+    immutable value objects -- perturbation mechanisms always return a
+    *new* dataset.
+    """
+
+    def __init__(self, schema: Schema, records):
+        raw = np.asarray(records)
+        if np.issubdtype(raw.dtype, np.floating) and not np.all(np.isfinite(raw)):
+            raise DataError("records contain non-finite values (NaN/inf)")
+        records = np.array(raw, dtype=np.int64, copy=True)
+        if records.ndim != 2:
+            raise DataError(f"records must be 2-D (N, M), got shape {records.shape}")
+        if records.shape[1] != schema.n_attributes:
+            raise DataError(
+                f"records have {records.shape[1]} columns but schema has "
+                f"{schema.n_attributes} attributes"
+            )
+        cards = np.asarray(schema.cardinalities, dtype=np.int64)
+        if records.size and (np.any(records < 0) or np.any(records >= cards)):
+            bad = np.argwhere((records < 0) | (records >= cards))[0]
+            raise DataError(
+                f"record {bad[0]} has out-of-domain value for attribute "
+                f"{schema.names[bad[1]]!r}"
+            )
+        records.setflags(write=False)
+        self.schema = schema
+        self.records = records
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_joint_indices(cls, schema: Schema, joint_indices) -> "CategoricalDataset":
+        """Build a dataset from values in the joint index set ``I_U``."""
+        return cls(schema, schema.decode(np.asarray(joint_indices, dtype=np.int64)))
+
+    @classmethod
+    def from_labels(cls, schema: Schema, rows) -> "CategoricalDataset":
+        """Build a dataset from rows of category *labels* (strings)."""
+        encoded = []
+        for i, row in enumerate(rows):
+            row = list(row)
+            if len(row) != schema.n_attributes:
+                raise DataError(
+                    f"row {i} has {len(row)} values, expected {schema.n_attributes}"
+                )
+            try:
+                encoded.append([schema[j].index_of(v) for j, v in enumerate(row)])
+            except SchemaError as exc:
+                raise DataError(f"row {i}: {exc}") from exc
+        if not encoded:
+            encoded = np.empty((0, schema.n_attributes), dtype=np.int64)
+        return cls(schema, encoded)
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        """``N`` -- the number of records."""
+        return int(self.records.shape[0])
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CategoricalDataset):
+            return NotImplemented
+        return self.schema == other.schema and np.array_equal(self.records, other.records)
+
+    def __repr__(self) -> str:
+        return (
+            f"CategoricalDataset(n_records={self.n_records}, "
+            f"n_attributes={self.schema.n_attributes}, "
+            f"joint_size={self.schema.joint_size})"
+        )
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def joint_indices(self) -> np.ndarray:
+        """Records as values in ``I_U`` (the paper's ``U_i``)."""
+        return self.schema.encode(self.records)
+
+    def column(self, attribute) -> np.ndarray:
+        """Category indices of one attribute (by name or position)."""
+        if isinstance(attribute, str):
+            attribute = self.schema.position_of(attribute)
+        return self.records[:, attribute]
+
+    def labels(self) -> list[tuple[str, ...]]:
+        """Records as tuples of category labels (for display / CSV)."""
+        cats = [a.categories for a in self.schema]
+        return [
+            tuple(cats[j][v] for j, v in enumerate(row)) for row in self.records
+        ]
+
+    def to_boolean(self) -> np.ndarray:
+        """One-hot booleanization: ``(N, M_b)`` with exactly ``M`` ones per row.
+
+        This is the representation MASK perturbs: each categorical
+        attribute ``j`` becomes ``|S^j_U|`` boolean attributes of which
+        exactly one is set (paper Section 7, "MASK").
+        """
+        n_bool = self.schema.n_boolean
+        out = np.zeros((self.n_records, n_bool), dtype=np.int8)
+        offsets = np.asarray(self.schema.boolean_offsets(), dtype=np.int64)
+        cols = self.records + offsets
+        out[np.arange(self.n_records)[:, None], cols] = 1
+        return out
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    def joint_counts(self) -> np.ndarray:
+        """The paper's ``X``: count of records per joint-domain value.
+
+        Shape ``(|S_U|,)``; ``X[u]`` is the number of records equal to
+        ``u``.  This is the vector the miner reconstructs.
+        """
+        return np.bincount(self.joint_indices(), minlength=self.schema.joint_size).astype(
+            np.int64
+        )
+
+    def subset_counts(self, positions) -> np.ndarray:
+        """Counts over the sub-domain of an attribute subset ``Cs``.
+
+        Shape ``(n_Cs,)`` where ``n_Cs = prod_{j in Cs} |S^j_U|``; used
+        during mining passes (paper Section 6).
+        """
+        sub = self.schema.encode_subset(self.records, positions)
+        return np.bincount(sub, minlength=self.schema.subset_size(positions)).astype(
+            np.int64
+        )
+
+    def value_counts(self, attribute) -> np.ndarray:
+        """Per-category counts for a single attribute."""
+        if isinstance(attribute, str):
+            attribute = self.schema.position_of(attribute)
+        card = self.schema.cardinalities[attribute]
+        return np.bincount(self.records[:, attribute], minlength=card).astype(np.int64)
+
+    def sample(self, size: int, rng: np.random.Generator) -> "CategoricalDataset":
+        """Uniform random subsample (without replacement) of ``size`` records."""
+        if not 0 <= size <= self.n_records:
+            raise DataError(
+                f"sample size {size} out of range 0..{self.n_records}"
+            )
+        idx = rng.choice(self.n_records, size=size, replace=False)
+        return CategoricalDataset(self.schema, self.records[idx])

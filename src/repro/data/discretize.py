@@ -1,0 +1,88 @@
+"""Discretization of continuous attributes.
+
+The paper converts continuous attributes to categorical ones by
+"partitioning the domain of the attribute into fixed length intervals"
+(Section 1.1) -- equi-width binning, used for the CENSUS and HEALTH
+continuous columns.  Equi-depth binning is also provided as a common
+alternative (and as an ablation knob).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def equiwidth_edges(low: float, high: float, n_bins: int) -> np.ndarray:
+    """Bin edges splitting ``[low, high]`` into ``n_bins`` equal widths.
+
+    Returns ``n_bins + 1`` edges including both endpoints.
+    """
+    if n_bins < 1:
+        raise DataError(f"n_bins must be >= 1, got {n_bins}")
+    if not high > low:
+        raise DataError(f"need high > low, got [{low}, {high}]")
+    return np.linspace(float(low), float(high), n_bins + 1)
+
+
+def equidepth_edges(values, n_bins: int) -> np.ndarray:
+    """Bin edges placing (approximately) equal record counts per bin."""
+    if n_bins < 1:
+        raise DataError(f"n_bins must be >= 1, got {n_bins}")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise DataError("cannot compute equi-depth edges of an empty array")
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+    return np.quantile(values, quantiles)
+
+
+def _assign_bins(values: np.ndarray, edges: np.ndarray, clip: bool) -> np.ndarray:
+    n_bins = edges.size - 1
+    # Interval convention matches the paper's Table 1: (lo, hi] except the
+    # first bin, which includes its lower edge.
+    bins = np.searchsorted(edges, values, side="left") - 1
+    bins[values <= edges[0]] = 0
+    if clip:
+        bins = np.clip(bins, 0, n_bins - 1)
+    elif np.any(bins < 0) or np.any(bins >= n_bins):
+        raise DataError("values fall outside the binning range and clip=False")
+    return bins.astype(np.int64)
+
+
+def discretize_equiwidth(values, low, high, n_bins, clip: bool = True) -> np.ndarray:
+    """Equi-width bin index for each value (paper's discretization).
+
+    Values beyond ``high`` land in the last bin when ``clip`` is true,
+    mirroring the paper's open-ended top categories such as ``> 75``.
+    """
+    edges = equiwidth_edges(low, high, n_bins)
+    return _assign_bins(np.asarray(values, dtype=float), edges, clip)
+
+
+def discretize_equidepth(values, n_bins, clip: bool = True) -> np.ndarray:
+    """Equi-depth bin index for each value."""
+    values = np.asarray(values, dtype=float)
+    edges = equidepth_edges(values, n_bins)
+    return _assign_bins(values, edges, clip)
+
+
+def interval_labels(edges, open_ended_top: bool = True) -> tuple[str, ...]:
+    """Human-readable labels like ``(15-35]`` for consecutive bin edges.
+
+    With ``open_ended_top`` the final bin is rendered ``> hi`` as in the
+    paper's Table 1.
+    """
+    edges = np.asarray(edges, dtype=float)
+    if edges.size < 2:
+        raise DataError("need at least two edges for one interval")
+
+    def fmt(x: float) -> str:
+        return f"{int(x)}" if float(x).is_integer() else f"{x:g}"
+
+    labels = [
+        f"({fmt(lo)}-{fmt(hi)}]" for lo, hi in zip(edges[:-1], edges[1:])
+    ]
+    if open_ended_top:
+        labels[-1] = f"> {fmt(edges[-2])}"
+    return tuple(labels)

@@ -1,0 +1,45 @@
+"""CSV persistence for categorical datasets.
+
+Datasets round-trip as plain CSV with a header row of attribute names
+and category *labels* as cell values, so files are directly inspectable
+and diffable.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.schema import Schema
+from repro.exceptions import DataError
+
+
+def save_csv(dataset: CategoricalDataset, path) -> None:
+    """Write ``dataset`` to ``path`` as label-valued CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(dataset.schema.names)
+        writer.writerows(dataset.labels())
+
+
+def load_csv(schema: Schema, path) -> CategoricalDataset:
+    """Read a label-valued CSV written by :func:`save_csv`.
+
+    The header must match the schema's attribute names in order; every
+    cell must be a known category label.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty (no header row)") from None
+        if tuple(header) != schema.names:
+            raise DataError(
+                f"CSV header {tuple(header)} does not match schema {schema.names}"
+            )
+        rows = list(reader)
+    return CategoricalDataset.from_labels(schema, rows)

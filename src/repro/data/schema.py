@@ -1,0 +1,232 @@
+"""Attribute and schema definitions.
+
+A :class:`Schema` fixes the ordered list of categorical attributes and
+provides the bijection between full records (one category index per
+attribute) and the paper's joint index set
+``I_U = {0, ..., |S_U| - 1}`` where ``|S_U| = prod_j |S^j_U|``.
+
+The encoding is mixed-radix with attribute 0 most significant -- the
+same ordering the paper's Section 5 uses via its prefix products
+``n_j = prod_{k<=j} |S^k_U|`` (we expose those as
+:meth:`Schema.prefix_products`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single categorical attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within a schema.
+    categories:
+        Ordered category labels; the attribute's domain ``S^j_U``.
+    """
+
+    name: str
+    categories: tuple[str, ...]
+
+    def __init__(self, name: str, categories):
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "categories", tuple(str(c) for c in categories))
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if len(self.categories) < 2:
+            raise SchemaError(
+                f"attribute {self.name!r} needs >= 2 categories, "
+                f"got {len(self.categories)}"
+            )
+        if len(set(self.categories)) != len(self.categories):
+            raise SchemaError(f"attribute {self.name!r} has duplicate categories")
+
+    @property
+    def cardinality(self) -> int:
+        """``|S^j_U|`` -- the number of categories."""
+        return len(self.categories)
+
+    def index_of(self, label: str) -> int:
+        """Category index for ``label`` (raises ``SchemaError`` if absent)."""
+        try:
+            return self.categories.index(label)
+        except ValueError:
+            raise SchemaError(
+                f"attribute {self.name!r} has no category {label!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of categorical attributes.
+
+    Examples
+    --------
+    >>> schema = Schema([
+    ...     Attribute("sex", ["Female", "Male"]),
+    ...     Attribute("country", ["US", "Other"]),
+    ... ])
+    >>> schema.joint_size
+    4
+    >>> schema.encode([[1, 0]])
+    array([2])
+    """
+
+    attributes: tuple[Attribute, ...]
+    _name_to_pos: dict = field(repr=False, compare=False, default_factory=dict)
+
+    def __init__(self, attributes):
+        attributes = tuple(attributes)
+        if not attributes:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        object.__setattr__(self, "attributes", attributes)
+        object.__setattr__(
+            self, "_name_to_pos", {a.name: i for i, a in enumerate(attributes)}
+        )
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __getitem__(self, key) -> Attribute:
+        """Attribute by position (int) or by name (str)."""
+        if isinstance(key, str):
+            return self.attributes[self.position_of(key)]
+        return self.attributes[key]
+
+    @property
+    def n_attributes(self) -> int:
+        """``M`` -- the number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names in schema order."""
+        return tuple(a.name for a in self.attributes)
+
+    @property
+    def cardinalities(self) -> tuple[int, ...]:
+        """``(|S^1_U|, ..., |S^M_U|)``."""
+        return tuple(a.cardinality for a in self.attributes)
+
+    @property
+    def joint_size(self) -> int:
+        """``|S_U| = prod_j |S^j_U|`` -- size of the joint domain."""
+        return int(np.prod(self.cardinalities, dtype=np.int64))
+
+    @property
+    def n_boolean(self) -> int:
+        """``M_b = sum_j |S^j_U|`` -- booleanized width (used by MASK)."""
+        return int(sum(self.cardinalities))
+
+    def position_of(self, name: str) -> int:
+        """Position of the attribute called ``name``."""
+        try:
+            return self._name_to_pos[name]
+        except KeyError:
+            raise SchemaError(f"schema has no attribute named {name!r}") from None
+
+    def prefix_products(self) -> tuple[int, ...]:
+        """Paper Section 5's ``n_j = prod_{k <= j} |S^k_U|`` for each j."""
+        return tuple(np.cumprod(self.cardinalities, dtype=np.int64).tolist())
+
+    def subset_size(self, positions) -> int:
+        """``n_Cs = prod_{j in Cs} |S^j_U|`` for an attribute subset."""
+        positions = self._validate_positions(positions)
+        cards = self.cardinalities
+        return int(np.prod([cards[p] for p in positions], dtype=np.int64))
+
+    def _validate_positions(self, positions) -> tuple[int, ...]:
+        positions = tuple(int(p) for p in positions)
+        for p in positions:
+            if not 0 <= p < self.n_attributes:
+                raise SchemaError(
+                    f"attribute position {p} out of range 0..{self.n_attributes - 1}"
+                )
+        if len(set(positions)) != len(positions):
+            raise SchemaError(f"duplicate attribute positions: {positions}")
+        return positions
+
+    # ------------------------------------------------------------------
+    # record <-> joint-index mapping
+    # ------------------------------------------------------------------
+    def encode(self, records) -> np.ndarray:
+        """Map records (shape ``(N, M)`` of category indices) to ``I_U``.
+
+        The inverse of :meth:`decode`.
+        """
+        records = np.asarray(records, dtype=np.int64)
+        if records.ndim != 2 or records.shape[1] != self.n_attributes:
+            raise SchemaError(
+                f"records must have shape (N, {self.n_attributes}), "
+                f"got {records.shape}"
+            )
+        return np.ravel_multi_index(records.T, dims=self.cardinalities)
+
+    def decode(self, joint_indices) -> np.ndarray:
+        """Map joint indices in ``I_U`` back to ``(N, M)`` records."""
+        joint_indices = np.asarray(joint_indices, dtype=np.int64)
+        if joint_indices.ndim != 1:
+            raise SchemaError(
+                f"joint indices must be 1-D, got shape {joint_indices.shape}"
+            )
+        if joint_indices.size and (
+            joint_indices.min() < 0 or joint_indices.max() >= self.joint_size
+        ):
+            raise SchemaError("joint index out of range for this schema")
+        unraveled = np.unravel_index(joint_indices, self.cardinalities)
+        return np.stack(unraveled, axis=1).astype(np.int64)
+
+    def encode_subset(self, records, positions) -> np.ndarray:
+        """Joint indices over the *sub*-domain of the given attributes.
+
+        Used by the mining passes of Section 6 where supports are
+        estimated over itemsets on a subset ``Cs`` of attributes.
+        """
+        positions = self._validate_positions(positions)
+        if not positions:
+            raise SchemaError("attribute subset must be non-empty")
+        records = np.asarray(records, dtype=np.int64)
+        cards = [self.cardinalities[p] for p in positions]
+        cols = [records[:, p] for p in positions]
+        return np.ravel_multi_index(cols, dims=cards)
+
+    def decode_subset(self, joint_indices, positions) -> np.ndarray:
+        """Inverse of :meth:`encode_subset` (columns in ``positions`` order)."""
+        positions = self._validate_positions(positions)
+        if not positions:
+            raise SchemaError("attribute subset must be non-empty")
+        cards = [self.cardinalities[p] for p in positions]
+        joint_indices = np.asarray(joint_indices, dtype=np.int64)
+        unraveled = np.unravel_index(joint_indices, cards)
+        return np.stack(unraveled, axis=1).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # booleanization (MASK substrate)
+    # ------------------------------------------------------------------
+    def boolean_offsets(self) -> tuple[int, ...]:
+        """Start offset of each attribute's block in the booleanized row."""
+        offsets = np.concatenate([[0], np.cumsum(self.cardinalities)[:-1]])
+        return tuple(int(o) for o in offsets)
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the schema."""
+        lines = [f"Schema with {self.n_attributes} attributes, joint domain size {self.joint_size}"]
+        for attr in self.attributes:
+            lines.append(f"  {attr.name} ({attr.cardinality}): {', '.join(attr.categories)}")
+        return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`FrappError` so callers can
+catch framework failures without also swallowing programming errors such
+as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class FrappError(Exception):
+    """Base class for all errors raised by the repro/FRAPP library."""
+
+
+class SchemaError(FrappError):
+    """A schema or attribute definition is invalid or inconsistent."""
+
+
+class DataError(FrappError):
+    """A dataset is malformed (wrong shape, out-of-domain values, ...)."""
+
+
+class PrivacyError(FrappError):
+    """A privacy requirement is unsatisfiable or violated.
+
+    Raised, for example, when ``(rho1, rho2)`` imply ``gamma <= 1`` (no
+    perturbation matrix can satisfy the amplification bound), or when a
+    user-supplied matrix breaks the row-ratio constraint of Eq. (2).
+    """
+
+
+class MatrixError(FrappError):
+    """A perturbation matrix is invalid (not Markov, not invertible, ...)."""
+
+
+class ReconstructionError(FrappError):
+    """Distribution reconstruction failed (singular system, bad inputs)."""
+
+
+class MiningError(FrappError):
+    """Frequent-itemset mining was asked to do something impossible."""
+
+
+class ExperimentError(FrappError):
+    """An experiment configuration is invalid or an experiment failed."""

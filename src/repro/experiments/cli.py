@@ -1,0 +1,168 @@
+"""Command-line entry point: ``frapp`` / ``python -m repro.experiments``.
+
+Regenerates any table or figure of the paper from the command line:
+
+.. code-block:: console
+
+   $ frapp table3
+   $ frapp fig1 --records 10000 --seed 7
+   $ frapp fig4
+   $ frapp all            # everything (slowest)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.data.census import census_schema
+from repro.experiments.config import ExperimentConfig, PAPER_GAMMA
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3_posterior,
+    figure3_support_error,
+    figure4,
+)
+from repro.experiments.reporting import (
+    render_figure_panels,
+    render_schema_table,
+    render_series_table,
+)
+from repro.experiments.tables import PAPER_TABLE3, table1, table2, table3
+
+_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "sweep-gamma",
+    "all",
+)
+
+
+def _config_from_args(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        gamma=args.gamma,
+        min_support=args.min_support,
+        seed=args.seed,
+        n_records=args.records,
+    )
+
+
+def _run_table1() -> str:
+    return "Table 1: CENSUS categories\n" + render_schema_table(table1())
+
+
+def _run_table2() -> str:
+    return "Table 2: HEALTH categories\n" + render_schema_table(table2())
+
+
+def _run_table3(args) -> str:
+    measured = table3(min_support=args.min_support)
+    series = {}
+    for name, counts in measured.items():
+        series[f"{name} (measured)"] = counts
+        series[f"{name} (paper)"] = PAPER_TABLE3[name]
+    return "Table 3: frequent itemsets per length (supmin=2%)\n" + render_series_table(
+        series
+    )
+
+
+def _run_fig1(args) -> str:
+    panels = figure1(_config_from_args(args), n_records=args.records)
+    return "Figure 1: CENSUS errors per itemset length\n" + render_figure_panels(panels)
+
+
+def _run_fig2(args) -> str:
+    panels = figure2(_config_from_args(args), n_records=args.records)
+    return "Figure 2: HEALTH errors per itemset length\n" + render_figure_panels(panels)
+
+
+def _run_fig3(args) -> str:
+    n = census_schema().joint_size
+    posterior = figure3_posterior(n=n, gamma=args.gamma)
+    blocks = [
+        "Figure 3(a): posterior probability vs alpha/(gamma x)",
+        render_series_table(posterior, x_label="alpha_rel"),
+    ]
+    for dataset, panel in (("CENSUS", "(b)"), ("HEALTH", "(c)")):
+        series = figure3_support_error(
+            dataset, config=_config_from_args(args), n_records=args.records
+        )
+        blocks.append(
+            f"Figure 3{panel}: {dataset} support error (length 4) vs alpha/(gamma x)"
+        )
+        blocks.append(render_series_table(series, x_label="alpha_rel"))
+    return "\n\n".join(blocks)
+
+
+def _run_sweep_gamma(args) -> str:
+    from repro.data.census import generate_census
+    from repro.experiments.sweeps import gamma_sweep
+
+    records = args.records or 20_000
+    data = generate_census(records)
+    series = gamma_sweep(
+        data,
+        config=ExperimentConfig(seed=args.seed, min_support=args.min_support),
+    )
+    return (
+        f"Ablation: DET-GD error at itemset length 4 vs gamma (CENSUS, N={records})\n"
+        + render_series_table(series, x_label="gamma")
+    )
+
+
+def _run_fig4(args) -> str:
+    blocks = []
+    for dataset, panel in (("CENSUS", "(a)"), ("HEALTH", "(b)")):
+        series = figure4(dataset, gamma=args.gamma)
+        blocks.append(f"Figure 4{panel}: {dataset} condition numbers per length")
+        blocks.append(render_series_table(series))
+    return "\n\n".join(blocks)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="frapp",
+        description="Reproduce the tables and figures of Agrawal & Haritsa (ICDE 2005)",
+    )
+    parser.add_argument("experiment", choices=_EXPERIMENTS, help="what to regenerate")
+    parser.add_argument(
+        "--records", type=int, default=None, help="dataset size override"
+    )
+    parser.add_argument("--seed", type=int, default=20050405, help="experiment seed")
+    parser.add_argument(
+        "--gamma", type=float, default=PAPER_GAMMA, help="amplification bound"
+    )
+    parser.add_argument(
+        "--min-support", type=float, default=0.02, help="support threshold"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    runners = {
+        "table1": lambda: _run_table1(),
+        "table2": lambda: _run_table2(),
+        "table3": lambda: _run_table3(args),
+        "fig1": lambda: _run_fig1(args),
+        "fig2": lambda: _run_fig2(args),
+        "fig3": lambda: _run_fig3(args),
+        "fig4": lambda: _run_fig4(args),
+        "sweep-gamma": lambda: _run_sweep_gamma(args),
+    }
+    if args.experiment == "all":
+        names = [name for name in runners if name != "sweep-gamma"]
+    else:
+        names = [args.experiment]
+    outputs = [runners[name]() for name in names]
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

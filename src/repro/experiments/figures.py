@@ -1,0 +1,135 @@
+"""Figures 1-4 of the paper, as the number series behind each curve.
+
+The repo carries no plotting dependency; each ``figureN`` function
+returns the exact series a plotting script would draw (and
+:mod:`repro.experiments.reporting` renders them as text).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.randomized import RandomizedGammaDiagonal
+from repro.data.census import CENSUS_N_RECORDS, census_schema, generate_census
+from repro.data.health import HEALTH_N_RECORDS, generate_health, health_schema
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_GAMMA,
+    PAPER_RHO1,
+    dataset_scale,
+)
+from repro.experiments.runner import run_comparison, run_mechanism
+from repro.metrics.conditioning import condition_numbers_by_length
+from repro.mining.reconstructing import mine_exact
+
+
+def _dataset(name: str, n_records=None):
+    scale = dataset_scale()
+    if name.upper() == "CENSUS":
+        return generate_census(n_records or int(CENSUS_N_RECORDS * scale))
+    if name.upper() == "HEALTH":
+        return generate_health(n_records or int(HEALTH_N_RECORDS * scale))
+    raise ValueError(f"unknown dataset {name!r}")
+
+
+def _comparison_series(dataset_name: str, config: ExperimentConfig, n_records=None):
+    """``{metric: {mechanism: {length: value}}}`` for one dataset."""
+    dataset = _dataset(dataset_name, n_records)
+    runs = run_comparison(dataset, config)
+    return {
+        "rho": {name: run.errors.rho for name, run in runs.items()},
+        "sigma_minus": {name: run.errors.sigma_minus for name, run in runs.items()},
+        "sigma_plus": {name: run.errors.sigma_plus for name, run in runs.items()},
+    }
+
+
+def figure1(config: ExperimentConfig | None = None, n_records=None):
+    """Fig. 1: support error and identity errors on CENSUS.
+
+    Returns ``{"rho" | "sigma_minus" | "sigma_plus":
+    {mechanism: {length: value}}}`` -- panels (a), (b), (c).
+    """
+    return _comparison_series("CENSUS", config or ExperimentConfig(), n_records)
+
+
+def figure2(config: ExperimentConfig | None = None, n_records=None):
+    """Fig. 2: the same three panels on HEALTH."""
+    return _comparison_series("HEALTH", config or ExperimentConfig(), n_records)
+
+
+def figure3_posterior(
+    n: int,
+    gamma: float = PAPER_GAMMA,
+    prior: float = PAPER_RHO1,
+    alphas=None,
+) -> dict[str, dict[float, float]]:
+    """Fig. 3(a): posterior-probability range versus ``alpha/(gamma x)``.
+
+    Returns ``{"rho2_minus" | "rho2" | "rho2_plus":
+    {relative_alpha: value}}`` (the three curves of the panel).
+    """
+    if alphas is None:
+        alphas = np.linspace(0.0, 1.0, 11)
+    series = {"rho2_minus": {}, "rho2": {}, "rho2_plus": {}}
+    for rel in alphas:
+        rel = float(rel)
+        randomized = RandomizedGammaDiagonal.from_relative_alpha(n, gamma, rel)
+        lo, mid, hi = randomized.posterior_range(prior)
+        series["rho2_minus"][rel] = lo
+        series["rho2"][rel] = mid
+        series["rho2_plus"][rel] = hi
+    return series
+
+
+def figure3_support_error(
+    dataset_name: str,
+    length: int = 4,
+    alphas=None,
+    config: ExperimentConfig | None = None,
+    n_records=None,
+) -> dict[str, dict[float, float]]:
+    """Fig. 3(b, c): RAN-GD support error at one itemset length vs alpha.
+
+    Returns ``{"RAN-GD": {relative_alpha: rho}, "DET-GD": {...}}`` with
+    the DET-GD value repeated as the flat reference line, exactly like
+    the paper's panels.
+    """
+    config = config or ExperimentConfig()
+    if alphas is None:
+        alphas = np.linspace(0.0, 1.0, 6)
+    dataset = _dataset(dataset_name, n_records)
+    true_result = mine_exact(dataset, config.min_support)
+    det = run_mechanism(dataset, "DET-GD", config, true_result=true_result)
+    det_rho = det.errors.rho.get(length, float("nan"))
+    series = {"RAN-GD": {}, "DET-GD": {}}
+    for rel in alphas:
+        rel = float(rel)
+        ran_config = ExperimentConfig(
+            gamma=config.gamma,
+            min_support=config.min_support,
+            relative_alpha=rel,
+            max_cut=config.max_cut,
+            mechanisms=config.mechanisms,
+            seed=config.seed,
+        )
+        run = run_mechanism(dataset, "RAN-GD", ran_config, true_result=true_result)
+        series["RAN-GD"][rel] = run.errors.rho.get(length, float("nan"))
+        series["DET-GD"][rel] = det_rho
+    return series
+
+
+def figure4(
+    dataset_name: str, gamma: float = PAPER_GAMMA, max_cut: int = 3
+) -> dict[str, dict[int, float]]:
+    """Fig. 4: reconstruction-matrix condition numbers vs itemset length.
+
+    Purely analytic (no data pass); returns
+    ``{mechanism: {length: condition_number}}``.
+    """
+    if dataset_name.upper() == "CENSUS":
+        schema = census_schema()
+    elif dataset_name.upper() == "HEALTH":
+        schema = health_schema()
+    else:
+        raise ValueError(f"unknown dataset {dataset_name!r}")
+    return condition_numbers_by_length(schema, gamma, max_cut=max_cut)

@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment results.
+
+Every table/figure builder returns nested dicts; these helpers turn
+them into aligned monospace tables (what the CLI prints and what
+EXPERIMENTS.md embeds).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if value != 0 and (abs(value) >= 1e4 or abs(value) < 1e-3):
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_series_table(series: dict, x_label: str = "length", sort_keys=True) -> str:
+    """Render ``{row_name: {x: value}}`` as an aligned text table.
+
+    Rows keep insertion order; columns are the union of x-values.
+    """
+    columns = set()
+    for values in series.values():
+        columns.update(values)
+    columns = sorted(columns) if sort_keys else list(columns)
+    col_headers = [
+        f"{c:.2f}" if isinstance(c, float) else str(c) for c in columns
+    ]
+    header = [x_label] + col_headers
+    rows = [header]
+    for name, values in series.items():
+        rows.append([str(name)] + [_format_value(values.get(c)) for c in columns])
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_schema_table(rows: list[tuple[str, tuple[str, ...]]]) -> str:
+    """Render Table-1/2 style ``(attribute, categories)`` listings."""
+    width = max(len(name) for name, _ in rows)
+    lines = [f"{'Attribute'.ljust(width)}  Categories", f"{'-' * width}  {'-' * 10}"]
+    for name, categories in rows:
+        lines.append(f"{name.ljust(width)}  {', '.join(categories)}")
+    return "\n".join(lines)
+
+
+def render_figure_panels(panels: dict, x_label: str = "length") -> str:
+    """Render a multi-panel figure: ``{panel: {mechanism: {x: value}}}``."""
+    blocks = []
+    for panel, series in panels.items():
+        blocks.append(f"[{panel}]")
+        blocks.append(render_series_table(series, x_label=x_label))
+        blocks.append("")
+    return "\n".join(blocks).rstrip()

@@ -1,0 +1,31 @@
+"""Evaluation metrics for privacy-preserving mining (paper Section 7).
+
+* :mod:`repro.metrics.accuracy` -- support error ``rho`` and identity
+  errors ``sigma+`` / ``sigma-``, per itemset length;
+* :mod:`repro.metrics.conditioning` -- per-mechanism reconstruction-
+  matrix condition numbers versus itemset length (Fig. 4).
+"""
+
+from repro.metrics.accuracy import (
+    MiningErrors,
+    evaluate_mining,
+    identity_errors,
+    support_error,
+)
+from repro.metrics.conditioning import (
+    condition_numbers_by_length,
+    cp_condition_number,
+    gamma_diagonal_condition_number,
+    mask_condition_number,
+)
+
+__all__ = [
+    "MiningErrors",
+    "condition_numbers_by_length",
+    "cp_condition_number",
+    "evaluate_mining",
+    "gamma_diagonal_condition_number",
+    "identity_errors",
+    "mask_condition_number",
+    "support_error",
+]

@@ -1,0 +1,90 @@
+"""Mining-accuracy metrics (paper Section 7, "Accuracy Metrics").
+
+* **Support error** ``rho``: mean percentage relative error of the
+  reconstructed supports over the itemsets *correctly identified* as
+  frequent: ``rho = 100/|F ∩ R| * sum |sup_hat - sup| / sup``.
+* **Identity error**: false-positive and false-negative percentages
+  ``sigma+ = 100 |R - F| / |F|`` and ``sigma- = 100 |F - R| / |F|``.
+
+Both are reported per itemset length, matching Figures 1 and 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import MiningError
+from repro.mining.apriori import AprioriResult
+
+
+def support_error(true_supports: dict, estimated_supports: dict) -> float:
+    """Paper's ``rho``: percentage error over correctly-found itemsets.
+
+    Parameters
+    ----------
+    true_supports / estimated_supports:
+        ``{itemset: support}`` maps; the metric averages over their key
+        intersection.  Returns ``nan`` when the intersection is empty
+        (no itemset was correctly identified -- plotted as a gap, the
+        same way the paper's curves stop).
+    """
+    common = true_supports.keys() & estimated_supports.keys()
+    if not common:
+        return float("nan")
+    total = 0.0
+    for itemset in common:
+        truth = true_supports[itemset]
+        if truth <= 0:
+            raise MiningError(f"true support of {itemset} must be positive")
+        total += abs(estimated_supports[itemset] - truth) / truth
+    return 100.0 * total / len(common)
+
+
+def identity_errors(true_supports: dict, estimated_supports: dict) -> tuple[float, float]:
+    """Paper's ``(sigma+, sigma-)`` percentages.
+
+    ``sigma+`` counts reconstructed-frequent itemsets that are not truly
+    frequent; ``sigma-`` counts truly frequent ones the reconstruction
+    missed; both are relative to the number of truly frequent itemsets.
+    Returns ``(nan, nan)`` when there are no truly frequent itemsets at
+    this length.
+    """
+    f = set(true_supports)
+    r = set(estimated_supports)
+    if not f:
+        return float("nan"), float("nan")
+    sigma_plus = 100.0 * len(r - f) / len(f)
+    sigma_minus = 100.0 * len(f - r) / len(f)
+    return sigma_plus, sigma_minus
+
+
+@dataclass
+class MiningErrors:
+    """Per-length error profile of one mining run against the truth.
+
+    Attributes map itemset length to the respective metric; lengths run
+    over the *true* result's levels (so a mechanism that finds nothing
+    at some length shows ``sigma- = 100`` there, exactly like the
+    paper's curves).
+    """
+
+    rho: dict[int, float] = field(default_factory=dict)
+    sigma_plus: dict[int, float] = field(default_factory=dict)
+    sigma_minus: dict[int, float] = field(default_factory=dict)
+
+    def lengths(self) -> list[int]:
+        return sorted(self.rho)
+
+
+def evaluate_mining(true_result: AprioriResult, estimated_result: AprioriResult) -> MiningErrors:
+    """Compare a reconstructed mining run against the exact one."""
+    errors = MiningErrors()
+    lengths = sorted(set(true_result.by_length) | set(estimated_result.by_length))
+    for length in lengths:
+        truth = true_result.by_length.get(length, {})
+        estimate = estimated_result.by_length.get(length, {})
+        errors.rho[length] = support_error(truth, estimate)
+        plus, minus = identity_errors(truth, estimate)
+        errors.sigma_plus[length] = plus
+        errors.sigma_minus[length] = minus
+    return errors

@@ -1,0 +1,54 @@
+"""Frequent-itemset mining substrate and privacy-preserving drivers.
+
+* :mod:`repro.mining.itemsets` -- categorical items and itemsets;
+* :mod:`repro.mining.apriori` -- the Apriori miner (from scratch);
+* :mod:`repro.mining.counting` -- exact and reconstruction-based
+  support sources;
+* :mod:`repro.mining.reconstructing` -- one driver per mechanism
+  (DET-GD / RAN-GD / MASK / C&P), as evaluated in paper Section 7;
+* :mod:`repro.mining.rules` -- association-rule post-processing.
+"""
+
+from repro.mining.apriori import AprioriResult, apriori, generate_candidates
+from repro.mining.classify import NaiveBayesClassifier
+from repro.mining.counting import (
+    CutAndPasteSupportEstimator,
+    ExactSupportCounter,
+    GammaDiagonalSupportEstimator,
+    MaskSupportEstimator,
+)
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.itemsets import Itemset, all_items
+from repro.mining.reconstructing import (
+    CutAndPasteMiner,
+    DetGDMiner,
+    MaskMiner,
+    RanGDMiner,
+    make_miner,
+    mine_exact,
+    mine_per_level,
+)
+from repro.mining.rules import AssociationRule, association_rules
+
+__all__ = [
+    "AprioriResult",
+    "AssociationRule",
+    "CutAndPasteMiner",
+    "CutAndPasteSupportEstimator",
+    "DetGDMiner",
+    "ExactSupportCounter",
+    "GammaDiagonalSupportEstimator",
+    "Itemset",
+    "MaskMiner",
+    "MaskSupportEstimator",
+    "NaiveBayesClassifier",
+    "RanGDMiner",
+    "all_items",
+    "apriori",
+    "association_rules",
+    "fpgrowth",
+    "generate_candidates",
+    "make_miner",
+    "mine_exact",
+    "mine_per_level",
+]

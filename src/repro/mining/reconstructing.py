@@ -1,0 +1,254 @@
+"""Privacy-preserving mining drivers (paper Sections 6-7).
+
+Each driver bundles the full client/miner pipeline of one mechanism:
+perturb the dataset client-side, then mine the perturbed database with
+Apriori using the mechanism's support-reconstruction estimator.  The
+four drivers match the paper's experimental line-up:
+
+* :class:`DetGDMiner` -- DET-GD, the deterministic gamma-diagonal
+  matrix;
+* :class:`RanGDMiner` -- RAN-GD, the randomized gamma-diagonal matrix;
+* :class:`MaskMiner` -- MASK with the privacy-tight flip probability;
+* :class:`CutAndPasteMiner` -- C&P with privacy-constrained ``rho``.
+
+All drivers share the interface ``mine(dataset, min_support, seed)``
+returning an :class:`~repro.mining.apriori.AprioriResult` over
+*estimated* supports.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cut_and_paste import CutAndPastePerturbation
+from repro.baselines.mask import MaskPerturbation
+from repro.core.engine import (
+    GammaDiagonalPerturbation,
+    RandomizedGammaDiagonalPerturbation,
+)
+from repro.data.dataset import CategoricalDataset
+from repro.data.schema import Schema
+from repro.mining.apriori import AprioriResult, apriori
+from repro.mining.counting import (
+    CutAndPasteSupportEstimator,
+    ExactSupportCounter,
+    GammaDiagonalSupportEstimator,
+    MaskSupportEstimator,
+)
+
+
+def mine_exact(
+    dataset: CategoricalDataset, min_support: float, max_length=None
+) -> AprioriResult:
+    """Reference mining on the original (unperturbed) database."""
+    return apriori(
+        ExactSupportCounter(dataset), dataset.schema, min_support, max_length
+    )
+
+
+def mine_per_level(
+    estimator, schema: Schema, min_support: float, true_result: AprioriResult
+) -> AprioriResult:
+    """Per-level reconstruction evaluation (the Figures-1/2 protocol).
+
+    At each length ``k`` the candidate set is derived from the *true*
+    frequent ``(k-1)``-itemsets (all items at ``k = 1``), and an itemset
+    is reported frequent when its *reconstructed* support clears
+    ``min_support``.  This measures the reconstruction quality of every
+    length in isolation -- which is what the paper's per-length error
+    figures plot -- without compounding identification errors through
+    Apriori's candidate cascade.  (The cascade protocol, i.e. what a
+    deployed miner would do, is each driver's ``mine``; EXPERIMENTS.md
+    discusses how the two differ at high perturbation levels.)
+    """
+    from repro.mining.apriori import generate_candidates
+    from repro.mining.itemsets import all_items
+
+    result = AprioriResult(min_support=min_support)
+    for length in sorted(true_result.by_length):
+        if length == 1:
+            candidates = all_items(schema)
+        else:
+            previous = list(true_result.by_length.get(length - 1, {}))
+            candidates = generate_candidates(previous)
+            # Also score the true frequent itemsets themselves in case
+            # pruning over the true lattice dropped any (it cannot for
+            # exact supports, but stay robust to capped references).
+            seen = set(candidates)
+            candidates.extend(
+                its for its in true_result.by_length[length] if its not in seen
+            )
+        if not candidates:
+            continue
+        supports = estimator.supports(candidates)
+        level = {
+            itemset: float(support)
+            for itemset, support in zip(candidates, supports)
+            if support >= min_support
+        }
+        if level:
+            result.by_length[length] = level
+    return result
+
+
+class DetGDMiner:
+    """DET-GD pipeline: gamma-diagonal perturbation + Eq.-28 estimates."""
+
+    name = "DET-GD"
+
+    def __init__(self, schema: Schema, gamma: float):
+        self.schema = schema
+        self.gamma = float(gamma)
+        self.perturbation = GammaDiagonalPerturbation(schema, gamma)
+
+    def perturb(self, dataset: CategoricalDataset, seed=None) -> CategoricalDataset:
+        """Client-side step (exposed for inspection and reuse)."""
+        return self.perturbation.perturb(dataset, seed=seed)
+
+    def build_estimator(self, dataset: CategoricalDataset, seed=None):
+        """Perturb and wrap in this mechanism's support estimator."""
+        perturbed = self.perturb(dataset, seed=seed)
+        return GammaDiagonalSupportEstimator(perturbed, self.gamma)
+
+    def mine(
+        self, dataset: CategoricalDataset, min_support: float, seed=None, max_length=None
+    ) -> AprioriResult:
+        estimator = self.build_estimator(dataset, seed=seed)
+        return apriori(estimator, self.schema, min_support, max_length)
+
+    def mine_per_level(
+        self, dataset: CategoricalDataset, min_support: float, true_result, seed=None
+    ) -> AprioriResult:
+        """Per-level evaluation protocol (see :func:`mine_per_level`)."""
+        estimator = self.build_estimator(dataset, seed=seed)
+        return mine_per_level(estimator, self.schema, min_support, true_result)
+
+
+class RanGDMiner:
+    """RAN-GD pipeline: randomized matrices, reconstruction via ``E[Ã]``."""
+
+    name = "RAN-GD"
+
+    def __init__(self, schema: Schema, gamma: float, relative_alpha: float = 0.5):
+        self.schema = schema
+        self.gamma = float(gamma)
+        self.perturbation = RandomizedGammaDiagonalPerturbation(
+            schema, gamma, relative_alpha=relative_alpha
+        )
+
+    @property
+    def alpha(self) -> float:
+        return self.perturbation.alpha
+
+    def perturb(self, dataset: CategoricalDataset, seed=None) -> CategoricalDataset:
+        return self.perturbation.perturb(dataset, seed=seed)
+
+    def build_estimator(self, dataset: CategoricalDataset, seed=None):
+        """Perturb and wrap in the shared gamma-diagonal estimator."""
+        perturbed = self.perturb(dataset, seed=seed)
+        return GammaDiagonalSupportEstimator(perturbed, self.gamma)
+
+    def mine(
+        self, dataset: CategoricalDataset, min_support: float, seed=None, max_length=None
+    ) -> AprioriResult:
+        estimator = self.build_estimator(dataset, seed=seed)
+        return apriori(estimator, self.schema, min_support, max_length)
+
+    def mine_per_level(
+        self, dataset: CategoricalDataset, min_support: float, true_result, seed=None
+    ) -> AprioriResult:
+        """Per-level evaluation protocol (see :func:`mine_per_level`)."""
+        estimator = self.build_estimator(dataset, seed=seed)
+        return mine_per_level(estimator, self.schema, min_support, true_result)
+
+
+class MaskMiner:
+    """MASK pipeline: booleanize, flip, tensor-power reconstruction."""
+
+    name = "MASK"
+
+    def __init__(self, schema: Schema, gamma: float):
+        self.schema = schema
+        self.gamma = float(gamma)
+        self.operator = MaskPerturbation.for_gamma(schema, gamma)
+
+    @property
+    def p(self) -> float:
+        """The privacy-tight bit-retention probability."""
+        return self.operator.p
+
+    def perturb(self, dataset: CategoricalDataset, seed=None):
+        """Returns the perturbed *boolean* matrix ``(N, M_b)``."""
+        return self.operator.perturb(dataset, seed=seed)
+
+    def build_estimator(self, dataset: CategoricalDataset, seed=None):
+        """Perturb and wrap in the MASK tensor-power estimator."""
+        perturbed_bits = self.perturb(dataset, seed=seed)
+        return MaskSupportEstimator(self.schema, perturbed_bits, self.operator)
+
+    def mine(
+        self, dataset: CategoricalDataset, min_support: float, seed=None, max_length=None
+    ) -> AprioriResult:
+        estimator = self.build_estimator(dataset, seed=seed)
+        return apriori(estimator, self.schema, min_support, max_length)
+
+    def mine_per_level(
+        self, dataset: CategoricalDataset, min_support: float, true_result, seed=None
+    ) -> AprioriResult:
+        """Per-level evaluation protocol (see :func:`mine_per_level`)."""
+        estimator = self.build_estimator(dataset, seed=seed)
+        return mine_per_level(estimator, self.schema, min_support, true_result)
+
+
+class CutAndPasteMiner:
+    """C&P pipeline: cut-and-paste operator, partial-support systems."""
+
+    name = "C&P"
+
+    def __init__(self, schema: Schema, gamma: float, max_cut: int = 3):
+        self.schema = schema
+        self.gamma = float(gamma)
+        self.operator = CutAndPastePerturbation.for_gamma(schema, gamma, max_cut)
+
+    @property
+    def rho(self) -> float:
+        """The privacy-constrained paste probability."""
+        return self.operator.rho
+
+    def perturb(self, dataset: CategoricalDataset, seed=None):
+        """Returns the perturbed *boolean* matrix ``(N, M_b)``."""
+        return self.operator.perturb(dataset, seed=seed)
+
+    def build_estimator(self, dataset: CategoricalDataset, seed=None):
+        """Perturb and wrap in the C&P partial-support estimator."""
+        perturbed_bits = self.perturb(dataset, seed=seed)
+        return CutAndPasteSupportEstimator(self.schema, perturbed_bits, self.operator)
+
+    def mine(
+        self, dataset: CategoricalDataset, min_support: float, seed=None, max_length=None
+    ) -> AprioriResult:
+        estimator = self.build_estimator(dataset, seed=seed)
+        return apriori(estimator, self.schema, min_support, max_length)
+
+    def mine_per_level(
+        self, dataset: CategoricalDataset, min_support: float, true_result, seed=None
+    ) -> AprioriResult:
+        """Per-level evaluation protocol (see :func:`mine_per_level`)."""
+        estimator = self.build_estimator(dataset, seed=seed)
+        return mine_per_level(estimator, self.schema, min_support, true_result)
+
+
+def make_miner(name: str, schema: Schema, gamma: float, **kwargs):
+    """Factory mapping the paper's mechanism names to driver instances.
+
+    Accepted names (case-insensitive): ``det-gd``, ``ran-gd``,
+    ``mask``, ``c&p`` (also ``cp`` / ``cut-and-paste``).
+    """
+    key = name.lower().replace("_", "-")
+    if key == "det-gd":
+        return DetGDMiner(schema, gamma, **kwargs)
+    if key == "ran-gd":
+        return RanGDMiner(schema, gamma, **kwargs)
+    if key == "mask":
+        return MaskMiner(schema, gamma, **kwargs)
+    if key in ("c&p", "cp", "cut-and-paste"):
+        return CutAndPasteMiner(schema, gamma, **kwargs)
+    raise ValueError(f"unknown mechanism {name!r}")

@@ -1,0 +1,82 @@
+"""Association-rule generation from frequent itemsets.
+
+The paper evaluates frequent-itemset discovery (the expensive half of
+association-rule mining); rule generation from a mined
+:class:`~repro.mining.apriori.AprioriResult` is standard post-processing
+(Agrawal et al., SIGMOD 1993) and is included to make the pipeline
+end-to-end usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.data.schema import Schema
+from repro.exceptions import MiningError
+from repro.mining.apriori import AprioriResult
+from repro.mining.itemsets import Itemset
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """``antecedent => consequent`` with its quality measures.
+
+    ``support`` is the support of the full itemset, ``confidence`` is
+    ``support / support(antecedent)``, and ``lift`` normalises
+    confidence by ``support(consequent)``.
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+    lift: float
+
+    def label(self, schema: Schema) -> str:
+        """Readable rendering like ``sex=Female => race=White``."""
+        return f"{self.antecedent.label(schema)} => {self.consequent.label(schema)}"
+
+
+def association_rules(
+    result: AprioriResult, min_confidence: float = 0.5
+) -> list[AssociationRule]:
+    """All rules above ``min_confidence`` from a mining result.
+
+    For every frequent itemset of length >= 2, every non-empty proper
+    subset is tried as antecedent.  By downward closure all subsets of a
+    frequent itemset are frequent, so their supports are available in
+    the result; itemsets whose subsets are missing (possible under
+    *estimated* supports, which need not be monotone) are skipped rather
+    than guessed.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise MiningError(
+            f"min_confidence must lie in (0, 1], got {min_confidence}"
+        )
+    frequent = result.frequent()
+    rules = []
+    for itemset, support in frequent.items():
+        if itemset.length < 2:
+            continue
+        for k in range(1, itemset.length):
+            for antecedent_items in combinations(itemset.items, k):
+                antecedent = Itemset(antecedent_items)
+                consequent = Itemset(
+                    tuple(i for i in itemset.items if i not in antecedent_items)
+                )
+                antecedent_support = frequent.get(antecedent)
+                consequent_support = frequent.get(consequent)
+                if not antecedent_support or consequent_support is None:
+                    continue
+                confidence = support / antecedent_support
+                if confidence < min_confidence:
+                    continue
+                lift = (
+                    confidence / consequent_support if consequent_support > 0 else float("inf")
+                )
+                rules.append(
+                    AssociationRule(antecedent, consequent, support, confidence, lift)
+                )
+    rules.sort(key=lambda r: (-r.confidence, -r.support))
+    return rules

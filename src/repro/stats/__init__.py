@@ -1,0 +1,33 @@
+"""Statistical and linear-algebra substrates used by the FRAPP core.
+
+Public contents:
+
+* :mod:`repro.stats.poisson_binomial` -- the Poisson-Binomial
+  distribution (sum of independent, non-identical Bernoulli trials),
+  which governs the perturbed counts ``Y_v`` in the paper's Section 2.2.
+* :mod:`repro.stats.linalg` -- helpers for the ``a*I + b*J`` matrix
+  family (the gamma-diagonal matrix and its marginals), Markov-matrix
+  validation and condition numbers.
+* :mod:`repro.stats.rng` -- seeded random-generator plumbing.
+"""
+
+from repro.stats.linalg import (
+    UniformOffDiagonalMatrix,
+    condition_number,
+    is_markov_matrix,
+    is_symmetric,
+    markov_violation,
+)
+from repro.stats.poisson_binomial import PoissonBinomial
+from repro.stats.rng import as_generator, spawn_generators
+
+__all__ = [
+    "PoissonBinomial",
+    "UniformOffDiagonalMatrix",
+    "as_generator",
+    "condition_number",
+    "is_markov_matrix",
+    "is_symmetric",
+    "markov_violation",
+    "spawn_generators",
+]

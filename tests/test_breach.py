@@ -1,0 +1,171 @@
+"""Tests for repro.core.breach (empirical privacy auditing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.breach import (
+    audit_all_singletons,
+    audit_property,
+    empirical_posteriors,
+    posterior_given_output,
+)
+from repro.core.engine import GammaDiagonalPerturbation
+from repro.core.gamma_diagonal import GammaDiagonalMatrix
+from repro.core.privacy import rho2_from_gamma
+from repro.exceptions import MatrixError, PrivacyError
+
+
+@pytest.fixture
+def gd_matrix():
+    return GammaDiagonalMatrix(n=8, gamma=19.0)
+
+
+class TestAnalyticPosterior:
+    def test_uniform_prior_gamma_diagonal(self, gd_matrix):
+        """Uniform prior, singleton property: posterior follows the
+        textbook Bayes computation."""
+        n = gd_matrix.n
+        prior = np.full(n, 1.0 / n)
+        mask = np.zeros(n, dtype=bool)
+        mask[0] = True
+        posteriors = posterior_given_output(gd_matrix.to_dense(), prior, mask)
+        # Seeing v=0: P = gamma*x/n / ((gamma*x + (n-1)x)/n) = gamma*x.
+        assert posteriors[0] == pytest.approx(gd_matrix.gamma * gd_matrix.x)
+        # Seeing any other v: x/n over 1/n.
+        assert posteriors[1] == pytest.approx(gd_matrix.x)
+
+    def test_identity_matrix_reveals_everything(self):
+        prior = np.array([0.3, 0.7])
+        mask = np.array([True, False])
+        posteriors = posterior_given_output(np.eye(2), prior, mask)
+        assert posteriors.tolist() == [1.0, 0.0]
+
+    def test_uniform_matrix_reveals_nothing(self):
+        prior = np.array([0.2, 0.3, 0.5])
+        mask = np.array([True, False, False])
+        posteriors = posterior_given_output(np.full((3, 3), 1 / 3), prior, mask)
+        assert np.allclose(posteriors, 0.2)
+
+    def test_zero_probability_outputs_are_nan(self):
+        matrix = np.array([[1.0, 1.0], [0.0, 0.0]])
+        posteriors = posterior_given_output(
+            matrix, np.array([0.5, 0.5]), np.array([True, False])
+        )
+        assert np.isnan(posteriors[1])
+
+    def test_validation(self, gd_matrix):
+        n = gd_matrix.n
+        with pytest.raises(MatrixError):
+            posterior_given_output(np.ones((2, 3)), np.ones(3) / 3, np.zeros(3, bool))
+        with pytest.raises(PrivacyError):
+            posterior_given_output(
+                gd_matrix.to_dense(), np.ones(n), np.zeros(n, bool)
+            )  # prior doesn't sum to 1
+        with pytest.raises(PrivacyError):
+            posterior_given_output(
+                gd_matrix.to_dense(), np.ones(n - 1) / (n - 1), np.zeros(n - 1, bool)
+            )
+
+
+class TestAudit:
+    def test_worst_case_prior_hits_bound(self, gd_matrix):
+        """The adversarial two-point distribution of paper Section 4.1
+        achieves the amplification ceiling exactly."""
+        n = gd_matrix.n
+        prior = np.zeros(n)
+        prior[0], prior[1] = 0.05, 0.95
+        mask = np.zeros(n, dtype=bool)
+        mask[0] = True
+        audit = audit_property(gd_matrix.to_dense(), prior, mask, gd_matrix.gamma)
+        assert audit.prior == pytest.approx(0.05)
+        assert audit.bound == pytest.approx(0.50)
+        assert audit.worst_posterior == pytest.approx(0.50)
+        assert audit.within_bound
+
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.floats(min_value=1.5, max_value=60.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60)
+    def test_gamma_diagonal_never_breaches(self, n, gamma, seed):
+        """Property: for ANY prior distribution and ANY singleton
+        property, the gamma-diagonal matrix respects its (rho1, rho2)
+        promise -- the distribution-independence the paper claims."""
+        rng = np.random.default_rng(seed)
+        matrix = GammaDiagonalMatrix(n=n, gamma=gamma).to_dense()
+        prior = rng.dirichlet(np.ones(n) * rng.uniform(0.2, 3.0))
+        for audit in audit_all_singletons(matrix, prior, gamma):
+            assert audit.within_bound
+
+    def test_leaky_matrix_detected(self):
+        """A matrix violating the gamma constraint produces an actual
+        breach on an adversarial distribution."""
+        leaky = np.array([[0.99, 0.01], [0.01, 0.99]])  # amplification 99
+        prior = np.array([0.05, 0.95])
+        mask = np.array([True, False])
+        audit = audit_property(leaky, prior, mask, gamma=19.0)
+        assert not audit.within_bound
+
+    def test_trivial_property_rejected(self, gd_matrix):
+        n = gd_matrix.n
+        prior = np.full(n, 1.0 / n)
+        with pytest.raises(PrivacyError):
+            audit_property(gd_matrix.to_dense(), prior, np.ones(n, bool), 19.0)
+
+    def test_gamma_validation(self, gd_matrix):
+        n = gd_matrix.n
+        prior = np.full(n, 1.0 / n)
+        mask = np.zeros(n, dtype=bool)
+        mask[0] = True
+        with pytest.raises(PrivacyError):
+            audit_property(gd_matrix.to_dense(), prior, mask, gamma=1.0)
+
+    def test_singleton_audits_skip_degenerate(self, gd_matrix):
+        n = gd_matrix.n
+        prior = np.zeros(n)
+        prior[0] = 1.0
+        assert audit_all_singletons(gd_matrix.to_dense(), prior, 19.0) == []
+
+
+class TestEmpiricalPosteriors:
+    def test_matches_analytic_on_real_perturbation(self, survey_schema, survey_dataset):
+        """The matrix-free empirical posterior converges to the
+        analytic one computed from the matrix."""
+        gamma = 10.0
+        engine = GammaDiagonalPerturbation(survey_schema, gamma)
+        perturbed = engine.perturb(survey_dataset, seed=0)
+
+        n = survey_schema.joint_size
+        original = survey_dataset.joint_indices()
+        prior = np.bincount(original, minlength=n) / len(original)
+        mask = np.zeros(n, dtype=bool)
+        mask[original[0]] = True  # property: "record equals cell of client 0"
+
+        analytic = posterior_given_output(engine.matrix.to_dense(), prior, mask)
+        empirical = empirical_posteriors(
+            original, perturbed.joint_indices(), n, mask
+        )
+        both = np.isfinite(analytic) & np.isfinite(empirical)
+        assert np.allclose(empirical[both], analytic[both], atol=0.06)
+
+    def test_validation(self):
+        with pytest.raises(PrivacyError):
+            empirical_posteriors([0, 1], [0], 2, np.array([True, False]))
+        with pytest.raises(PrivacyError):
+            empirical_posteriors([0, 1], [0, 1], 2, np.array([True]))
+
+    def test_rare_breach_amplitude_is_bounded(self, survey_schema, survey_dataset):
+        """End-to-end: audit the deployed matrix against the dataset's
+        own empirical distribution -- every singleton stays within the
+        (rho1, rho2) ceiling."""
+        gamma = 19.0
+        engine = GammaDiagonalPerturbation(survey_schema, gamma)
+        n = survey_schema.joint_size
+        prior = np.bincount(survey_dataset.joint_indices(), minlength=n) / len(
+            survey_dataset
+        )
+        for audit in audit_all_singletons(engine.matrix.to_dense(), prior, gamma):
+            assert audit.within_bound

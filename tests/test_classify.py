@@ -1,0 +1,136 @@
+"""Tests for repro.mining.classify (privacy-preserving naive Bayes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import GammaDiagonalPerturbation
+from repro.data.dataset import CategoricalDataset
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import DataError, MiningError
+from repro.mining.classify import NaiveBayesClassifier
+
+
+@pytest.fixture
+def labeled_schema():
+    return Schema(
+        [
+            Attribute("f1", ["a", "b", "c"]),
+            Attribute("f2", ["x", "y"]),
+            Attribute("label", ["neg", "pos"]),
+        ]
+    )
+
+
+@pytest.fixture
+def labeled_data(labeled_schema, rng):
+    """Strongly separable synthetic data: label follows f1 and f2."""
+    n = 8000
+    label = rng.integers(0, 2, size=n)
+    f1 = np.where(
+        label == 1,
+        rng.choice(3, size=n, p=[0.7, 0.2, 0.1]),
+        rng.choice(3, size=n, p=[0.1, 0.2, 0.7]),
+    )
+    f2 = np.where(
+        label == 1,
+        rng.choice(2, size=n, p=[0.8, 0.2]),
+        rng.choice(2, size=n, p=[0.3, 0.7]),
+    )
+    return CategoricalDataset(labeled_schema, np.stack([f1, f2, label], axis=1))
+
+
+class TestConstruction:
+    def test_class_by_name_or_position(self, labeled_schema):
+        by_name = NaiveBayesClassifier(labeled_schema, "label")
+        by_pos = NaiveBayesClassifier(labeled_schema, 2)
+        assert by_name.class_attribute == by_pos.class_attribute == 2
+
+    def test_feature_attributes(self, labeled_schema):
+        nb = NaiveBayesClassifier(labeled_schema, "label")
+        assert nb.feature_attributes == (0, 1)
+        assert nb.n_classes == 2
+
+    def test_validation(self, labeled_schema):
+        with pytest.raises(MiningError):
+            NaiveBayesClassifier(labeled_schema, "label", smoothing=-1.0)
+
+    def test_untrained_prediction_rejected(self, labeled_schema):
+        nb = NaiveBayesClassifier(labeled_schema, "label")
+        with pytest.raises(MiningError):
+            nb.predict(np.zeros((1, 3), dtype=int))
+
+
+class TestExactTraining:
+    def test_learns_separable_data(self, labeled_schema, labeled_data):
+        nb = NaiveBayesClassifier(labeled_schema, "label").fit(labeled_data)
+        assert nb.accuracy(labeled_data) > 0.75
+
+    def test_beats_majority_class(self, labeled_schema, labeled_data):
+        nb = NaiveBayesClassifier(labeled_schema, "label").fit(labeled_data)
+        majority = np.bincount(labeled_data.column("label")).max() / len(labeled_data)
+        assert nb.accuracy(labeled_data) > majority
+
+    def test_log_posteriors_shape(self, labeled_schema, labeled_data):
+        nb = NaiveBayesClassifier(labeled_schema, "label").fit(labeled_data)
+        scores = nb.log_posteriors(labeled_data.records[:10])
+        assert scores.shape == (10, 2)
+        assert np.all(scores <= 0)
+
+    def test_prediction_matches_hand_computation(self, labeled_schema):
+        # Deterministic data: label == (f2 == x).
+        records = [[0, 0, 1], [0, 0, 1], [1, 1, 0], [1, 1, 0]]
+        data = CategoricalDataset(labeled_schema, records)
+        nb = NaiveBayesClassifier(labeled_schema, "label", smoothing=0.1).fit(data)
+        predictions = nb.predict(np.array([[0, 0, 0], [1, 1, 0]]))
+        assert predictions.tolist() == [1, 0]
+
+    def test_schema_mismatch(self, labeled_schema, survey_dataset):
+        nb = NaiveBayesClassifier(labeled_schema, "label")
+        with pytest.raises(DataError):
+            nb.fit(survey_dataset)
+
+    def test_empty_dataset(self, labeled_schema):
+        nb = NaiveBayesClassifier(labeled_schema, "label")
+        empty = CategoricalDataset(labeled_schema, np.empty((0, 3), dtype=int))
+        with pytest.raises(DataError):
+            nb.fit(empty)
+
+
+class TestReconstructedTraining:
+    def test_tracks_exact_classifier_on_compact_domain(
+        self, labeled_schema, labeled_data
+    ):
+        """On a small joint domain (12 cells) the privately-trained
+        classifier approaches the exact one."""
+        gamma = 19.0
+        perturbed = GammaDiagonalPerturbation(labeled_schema, gamma).perturb(
+            labeled_data, seed=0
+        )
+        exact = NaiveBayesClassifier(labeled_schema, "label").fit(labeled_data)
+        private = NaiveBayesClassifier(labeled_schema, "label").fit_reconstructed(
+            perturbed, gamma
+        )
+        assert private.accuracy(labeled_data) > exact.accuracy(labeled_data) - 0.08
+
+    def test_more_privacy_less_accuracy_tendency(self, labeled_schema, labeled_data):
+        """Average over seeds: gamma=50 should not be worse than
+        gamma=3 (monotone tendency, allowing sampling slack)."""
+        scores = {}
+        for gamma in (3.0, 50.0):
+            accs = []
+            for seed in range(3):
+                perturbed = GammaDiagonalPerturbation(labeled_schema, gamma).perturb(
+                    labeled_data, seed=seed
+                )
+                nb = NaiveBayesClassifier(labeled_schema, "label").fit_reconstructed(
+                    perturbed, gamma
+                )
+                accs.append(nb.accuracy(labeled_data))
+            scores[gamma] = np.mean(accs)
+        assert scores[50.0] >= scores[3.0] - 0.05
+
+    def test_reconstructed_validation(self, labeled_schema):
+        nb = NaiveBayesClassifier(labeled_schema, "label")
+        empty = CategoricalDataset(labeled_schema, np.empty((0, 3), dtype=int))
+        with pytest.raises(DataError):
+            nb.fit_reconstructed(empty, 19.0)

@@ -1,0 +1,70 @@
+"""Tests for repro.core.designer (the two-step FRAPP workflow)."""
+
+import pytest
+
+from repro.core.designer import MechanismReport, design_mechanism
+from repro.core.engine import (
+    GammaDiagonalPerturbation,
+    RandomizedGammaDiagonalPerturbation,
+)
+from repro.core.privacy import PrivacyRequirement
+from repro.exceptions import PrivacyError
+
+
+@pytest.fixture
+def requirement():
+    return PrivacyRequirement(rho1=0.05, rho2=0.50)
+
+
+class TestDeterministicDesign:
+    def test_returns_det_gd_engine(self, survey_schema, requirement):
+        engine, report = design_mechanism(survey_schema, requirement)
+        assert isinstance(engine, GammaDiagonalPerturbation)
+        assert engine.gamma == pytest.approx(19.0)
+
+    def test_report_values(self, survey_schema, requirement):
+        _, report = design_mechanism(survey_schema, requirement)
+        n = survey_schema.joint_size
+        assert report.gamma == pytest.approx(19.0)
+        assert report.condition_number == pytest.approx((19 + n - 1) / 18)
+        assert report.keep_probability == pytest.approx(19 / (19 + n - 1))
+        assert report.worst_posterior == pytest.approx(0.50)
+        assert report.posterior_range is None
+
+    def test_engine_satisfies_requirement(self, survey_schema, requirement):
+        engine, _ = design_mechanism(survey_schema, requirement)
+        assert requirement.admits(engine.matrix.to_dense())
+
+    def test_summary_readable(self, survey_schema, requirement):
+        _, report = design_mechanism(survey_schema, requirement)
+        text = report.summary()
+        assert "gamma = 19" in text
+        assert "condition number" in text
+
+
+class TestRandomizedDesign:
+    def test_returns_ran_gd_engine(self, survey_schema, requirement):
+        engine, report = design_mechanism(
+            survey_schema, requirement, relative_alpha=0.5
+        )
+        assert isinstance(engine, RandomizedGammaDiagonalPerturbation)
+        assert report.posterior_range is not None
+
+    def test_posterior_range_brackets_deterministic(self, survey_schema, requirement):
+        _, report = design_mechanism(survey_schema, requirement, relative_alpha=0.5)
+        lo, mid, hi = report.posterior_range
+        assert lo < mid < hi
+        assert mid == pytest.approx(0.50, abs=0.01)
+
+    def test_summary_mentions_range(self, survey_schema, requirement):
+        _, report = design_mechanism(survey_schema, requirement, relative_alpha=0.5)
+        assert "range" in report.summary()
+
+    def test_alpha_validation(self, survey_schema, requirement):
+        with pytest.raises(PrivacyError):
+            design_mechanism(survey_schema, requirement, relative_alpha=1.5)
+
+    def test_end_to_end_perturbation(self, survey_schema, survey_dataset, requirement):
+        engine, _ = design_mechanism(survey_schema, requirement, relative_alpha=0.3)
+        perturbed = engine.perturb(survey_dataset, seed=0)
+        assert perturbed.n_records == survey_dataset.n_records

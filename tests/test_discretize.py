@@ -1,0 +1,96 @@
+"""Tests for repro.data.discretize."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.discretize import (
+    discretize_equidepth,
+    discretize_equiwidth,
+    equidepth_edges,
+    equiwidth_edges,
+    interval_labels,
+)
+from repro.exceptions import DataError
+
+
+class TestEquiwidthEdges:
+    def test_basic(self):
+        assert equiwidth_edges(0, 10, 2).tolist() == [0.0, 5.0, 10.0]
+
+    def test_census_age_bins(self):
+        """The paper's age attribute: (15-35], (35-55], (55-75], >75."""
+        edges = equiwidth_edges(15, 95, 4)
+        assert edges.tolist() == [15.0, 35.0, 55.0, 75.0, 95.0]
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            equiwidth_edges(0, 10, 0)
+        with pytest.raises(DataError):
+            equiwidth_edges(5, 5, 2)
+
+
+class TestEquidepthEdges:
+    def test_quartiles(self):
+        values = np.arange(1, 101)
+        edges = equidepth_edges(values, 4)
+        assert edges[0] == 1 and edges[-1] == 100
+        assert edges[2] == pytest.approx(np.median(values))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            equidepth_edges([], 3)
+
+
+class TestAssignment:
+    def test_half_open_convention(self):
+        """Bins are (lo, hi] except the first, matching Table 1."""
+        bins = discretize_equiwidth([15, 16, 35, 36, 75, 76], 15, 75, 3)
+        assert bins.tolist() == [0, 0, 0, 1, 2, 2]
+
+    def test_clip_top(self):
+        bins = discretize_equiwidth([200], 15, 95, 4, clip=True)
+        assert bins.tolist() == [3]
+
+    def test_clip_bottom(self):
+        bins = discretize_equiwidth([-5], 0, 10, 2, clip=True)
+        assert bins.tolist() == [0]
+
+    def test_no_clip_raises(self):
+        with pytest.raises(DataError):
+            discretize_equiwidth([200], 15, 95, 4, clip=False)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50)
+    def test_bins_in_range(self, values, n_bins):
+        bins = discretize_equiwidth(values, 0, 100, n_bins)
+        assert np.all(bins >= 0) and np.all(bins < n_bins)
+
+    def test_equidepth_balanced(self, rng):
+        values = rng.normal(size=10_000)
+        bins = discretize_equidepth(values, 5)
+        counts = np.bincount(bins, minlength=5)
+        assert counts.min() > 1500  # roughly 2000 each
+
+
+class TestLabels:
+    def test_closed_style(self):
+        labels = interval_labels([0, 20, 40], open_ended_top=False)
+        assert labels == ("(0-20]", "(20-40]")
+
+    def test_open_top(self):
+        labels = interval_labels([15, 35, 55, 75, 95], open_ended_top=True)
+        assert labels[-1] == "> 75"
+        assert labels[0] == "(15-35]"
+
+    def test_float_formatting(self):
+        labels = interval_labels([0.0, 0.5, 1.0], open_ended_top=False)
+        assert labels == ("(0-0.5]", "(0.5-1]")
+
+    def test_too_few_edges(self):
+        with pytest.raises(DataError):
+            interval_labels([1.0])

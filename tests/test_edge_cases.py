@@ -1,0 +1,144 @@
+"""Edge-case and failure-injection tests across the stack.
+
+Degenerate schemas, extreme parameters, numerically hostile inputs and
+corrupted files -- the situations a downstream user hits first.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import GammaDiagonalPerturbation
+from repro.core.gamma_diagonal import GammaDiagonalMatrix
+from repro.core.marginal import estimate_subset_supports
+from repro.core.privacy import gamma_from_rho
+from repro.core.randomized import RandomizedGammaDiagonal
+from repro.data.dataset import CategoricalDataset
+from repro.data.io import load_csv
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import DataError, FrappError
+from repro.mining.counting import ExactSupportCounter, GammaDiagonalSupportEstimator
+from repro.mining.itemsets import Itemset
+from repro.mining.reconstructing import mine_exact
+
+
+@pytest.fixture
+def binary_schema():
+    """The absolute minimum: one binary attribute (n = 2)."""
+    return Schema([Attribute("bit", ["0", "1"])])
+
+
+class TestDegenerateSchemas:
+    def test_single_binary_attribute_end_to_end(self, binary_schema, rng):
+        """The Warner-sized special case flows through the whole stack."""
+        records = rng.integers(0, 2, size=(2000, 1))
+        data = CategoricalDataset(binary_schema, records)
+        engine = GammaDiagonalPerturbation(binary_schema, gamma=3.0)
+        perturbed = engine.perturb(data, seed=0)
+        estimator = GammaDiagonalSupportEstimator(perturbed, 3.0)
+        estimates = estimator.supports([Itemset.of((0, 0)), Itemset.of((0, 1))])
+        truth = ExactSupportCounter(data).supports(
+            [Itemset.of((0, 0)), Itemset.of((0, 1))]
+        )
+        assert estimates.sum() == pytest.approx(1.0)
+        assert np.allclose(estimates, truth, atol=0.06)
+
+    def test_single_record_dataset(self, binary_schema):
+        data = CategoricalDataset(binary_schema, [[1]])
+        result = mine_exact(data, 0.5)
+        assert result.frequent() == {Itemset.of((0, 1)): 1.0}
+
+    def test_mining_constant_column(self, tiny_schema):
+        """A column stuck at one value yields support-1 itemsets."""
+        data = CategoricalDataset(tiny_schema, [[0, 1]] * 50)
+        result = mine_exact(data, 0.9)
+        assert result.support_of(Itemset.of((0, 0), (1, 1))) == 1.0
+
+
+class TestExtremeParameters:
+    def test_gamma_barely_above_one(self):
+        """gamma -> 1+ is legal but numerically brutal: the matrix is
+        almost uniform and the condition number diverges smoothly."""
+        matrix = GammaDiagonalMatrix(n=10, gamma=1.0 + 1e-6)
+        assert matrix.condition_number() > 1e6
+        rhs = np.arange(10, dtype=float)
+        assert np.allclose(matrix.matvec(matrix.solve(rhs)), rhs, atol=1e-6)
+
+    def test_huge_gamma_is_identity_like(self):
+        matrix = GammaDiagonalMatrix(n=10, gamma=1e12)
+        assert matrix.diagonal == pytest.approx(1.0, abs=1e-10)
+        assert matrix.condition_number() == pytest.approx(1.0, abs=1e-9)
+
+    def test_extreme_privacy_requirement(self):
+        gamma = gamma_from_rho(1e-6, 1 - 1e-6)
+        assert gamma > 1e11
+        GammaDiagonalMatrix(n=4, gamma=gamma)  # constructs fine
+
+    def test_randomized_alpha_exactly_at_bound(self):
+        bound = RandomizedGammaDiagonal.max_alpha(100, 19.0)
+        randomized = RandomizedGammaDiagonal(100, 19.0, bound)
+        r = randomized.draw_r(1000, seed=0)
+        assert np.all(randomized.diagonal(r) >= -1e-12)
+        assert np.all(randomized.off_diagonal(r) >= -1e-12)
+
+    def test_estimate_supports_at_support_zero_and_one(self):
+        for truth in (0.0, 1.0):
+            from repro.core.marginal import perturbed_support_of
+
+            observed = perturbed_support_of(truth, 19.0, 40, 4)
+            assert estimate_subset_supports(observed, 19.0, 40, 4) == pytest.approx(
+                truth, abs=1e-12
+            )
+
+
+class TestHostileInputs:
+    def test_dataset_rejects_float_garbage(self, tiny_schema):
+        # Float records are truncated by int64 coercion -- but NaN/inf
+        # cannot be, and must raise rather than corrupt silently.
+        with pytest.raises((DataError, ValueError)):
+            CategoricalDataset(tiny_schema, np.array([[np.nan, 0.0]]))
+
+    def test_corrupt_csv_ragged_rows(self, tiny_schema, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("color,size\nred,s\nblue\n")
+        with pytest.raises(DataError):
+            load_csv(tiny_schema, path)
+
+    def test_corrupt_csv_extra_columns(self, tiny_schema, tmp_path):
+        path = tmp_path / "wide.csv"
+        path.write_text("color,size\nred,s,EXTRA\n")
+        with pytest.raises(DataError):
+            load_csv(tiny_schema, path)
+
+    def test_all_library_errors_are_frapperrors(self):
+        """One except-clause catches everything the library raises."""
+        from repro import exceptions
+
+        error_types = [
+            getattr(exceptions, name)
+            for name in dir(exceptions)
+            if isinstance(getattr(exceptions, name), type)
+            and issubclass(getattr(exceptions, name), Exception)
+        ]
+        for error_type in error_types:
+            assert issubclass(error_type, (FrappError, Exception))
+            if error_type not in (FrappError,):
+                assert issubclass(error_type, FrappError) or error_type is FrappError
+
+
+class TestSeedPlumbing:
+    def test_shared_generator_advances(self, tiny_schema, tiny_dataset):
+        """Passing one generator through two perturbations yields two
+        different (but reproducible) outputs."""
+        engine = GammaDiagonalPerturbation(tiny_schema, gamma=2.0)
+        rng = np.random.default_rng(0)
+        first = engine.perturb(tiny_dataset, seed=rng)
+        second = engine.perturb(tiny_dataset, seed=rng)
+        rng2 = np.random.default_rng(0)
+        first_again = engine.perturb(tiny_dataset, seed=rng2)
+        assert first == first_again
+        assert first != second or tiny_dataset.n_records == 0
+
+    def test_none_seed_runs(self, tiny_schema, tiny_dataset):
+        engine = GammaDiagonalPerturbation(tiny_schema, gamma=2.0)
+        perturbed = engine.perturb(tiny_dataset, seed=None)
+        assert perturbed.n_records == tiny_dataset.n_records

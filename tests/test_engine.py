@@ -1,0 +1,173 @@
+"""Tests for repro.core.engine (perturbation samplers)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    GammaDiagonalPerturbation,
+    MatrixPerturbation,
+    RandomizedGammaDiagonalPerturbation,
+)
+from repro.data.dataset import CategoricalDataset
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import DataError, MatrixError
+
+
+def empirical_transition(schema, perturb, original_value, n_trials, seed):
+    """Empirical distribution of perturb(original_value) over I_U."""
+    records = np.tile(schema.decode(np.array([original_value])), (n_trials, 1))
+    dataset = CategoricalDataset(schema, records)
+    perturbed = perturb(dataset, seed)
+    counts = np.bincount(perturbed.joint_indices(), minlength=schema.joint_size)
+    return counts / n_trials
+
+
+class TestGammaDiagonalVectorized:
+    def test_preserves_shape_and_schema(self, tiny_schema, tiny_dataset):
+        engine = GammaDiagonalPerturbation(tiny_schema, gamma=19.0)
+        perturbed = engine.perturb(tiny_dataset, seed=0)
+        assert perturbed.n_records == tiny_dataset.n_records
+        assert perturbed.schema == tiny_schema
+
+    def test_deterministic_with_seed(self, tiny_schema, tiny_dataset):
+        engine = GammaDiagonalPerturbation(tiny_schema, gamma=19.0)
+        assert engine.perturb(tiny_dataset, seed=1) == engine.perturb(
+            tiny_dataset, seed=1
+        )
+
+    def test_schema_mismatch_rejected(self, tiny_schema, survey_dataset):
+        engine = GammaDiagonalPerturbation(tiny_schema, gamma=19.0)
+        with pytest.raises(DataError):
+            engine.perturb(survey_dataset, seed=0)
+
+    def test_invalid_method_rejected(self, tiny_schema):
+        with pytest.raises(MatrixError):
+            GammaDiagonalPerturbation(tiny_schema, gamma=19.0, method="magic")
+
+    def test_empirical_matches_matrix(self, tiny_schema):
+        """Empirical transition frequencies match the gamma-diagonal
+        entries: the sampler realises exactly the matrix of Eq. 13."""
+        engine = GammaDiagonalPerturbation(tiny_schema, gamma=5.0)
+        n_trials = 200_000
+        freq = empirical_transition(
+            tiny_schema, engine.perturb, original_value=4, n_trials=n_trials, seed=2
+        )
+        expected = np.full(tiny_schema.joint_size, engine.matrix.x)
+        expected[4] = engine.matrix.diagonal
+        assert np.allclose(freq, expected, atol=4.0 / np.sqrt(n_trials))
+
+    def test_high_gamma_keeps_most_records(self, tiny_schema, rng):
+        records = np.stack(
+            [rng.integers(0, c, size=2000) for c in tiny_schema.cardinalities], axis=1
+        )
+        dataset = CategoricalDataset(tiny_schema, records)
+        engine = GammaDiagonalPerturbation(tiny_schema, gamma=1e6)
+        perturbed = engine.perturb(dataset, seed=3)
+        unchanged = np.mean(np.all(perturbed.records == dataset.records, axis=1))
+        assert unchanged > 0.99
+
+    def test_empty_dataset(self, tiny_schema):
+        empty = CategoricalDataset(tiny_schema, np.empty((0, 2), dtype=int))
+        engine = GammaDiagonalPerturbation(tiny_schema, gamma=19.0)
+        assert engine.perturb(empty, seed=0).n_records == 0
+
+
+class TestSequentialSampler:
+    """The paper's Section-5 algorithm must realise the same matrix."""
+
+    def test_empirical_matches_matrix(self, tiny_schema):
+        engine = GammaDiagonalPerturbation(tiny_schema, gamma=5.0, method="sequential")
+        n_trials = 120_000
+        freq = empirical_transition(
+            tiny_schema, engine.perturb, original_value=2, n_trials=n_trials, seed=4
+        )
+        expected = np.full(tiny_schema.joint_size, engine.matrix.x)
+        expected[2] = engine.matrix.diagonal
+        assert np.allclose(freq, expected, atol=5.0 / np.sqrt(n_trials))
+
+    def test_agrees_with_vectorized_distribution(self, survey_schema):
+        """Both samplers realise the same transition distribution."""
+        n_trials = 60_000
+        gamma = 3.0
+        seq = GammaDiagonalPerturbation(survey_schema, gamma, method="sequential")
+        vec = GammaDiagonalPerturbation(survey_schema, gamma, method="vectorized")
+        f_seq = empirical_transition(survey_schema, seq.perturb, 7, n_trials, seed=5)
+        f_vec = empirical_transition(survey_schema, vec.perturb, 7, n_trials, seed=6)
+        assert np.allclose(f_seq, f_vec, atol=6.0 / np.sqrt(n_trials))
+
+    def test_three_attribute_diagonal_mass(self, survey_schema):
+        """P(unchanged) must be exactly gamma*x for the full record."""
+        engine = GammaDiagonalPerturbation(survey_schema, gamma=8.0, method="sequential")
+        n_trials = 50_000
+        freq = empirical_transition(survey_schema, engine.perturb, 0, n_trials, seed=7)
+        assert freq[0] == pytest.approx(engine.matrix.diagonal, abs=0.006)
+
+
+class TestRandomizedPerturbation:
+    def test_requires_exactly_one_alpha(self, tiny_schema):
+        with pytest.raises(MatrixError):
+            RandomizedGammaDiagonalPerturbation(tiny_schema, 19.0)
+        with pytest.raises(MatrixError):
+            RandomizedGammaDiagonalPerturbation(
+                tiny_schema, 19.0, alpha=0.01, relative_alpha=0.5
+            )
+
+    def test_zero_alpha_matches_deterministic_distribution(self, tiny_schema):
+        engine = RandomizedGammaDiagonalPerturbation(tiny_schema, 5.0, alpha=0.0)
+        n_trials = 100_000
+        freq = empirical_transition(tiny_schema, engine.perturb, 1, n_trials, seed=8)
+        det = engine.expected_matrix
+        expected = np.full(tiny_schema.joint_size, det.x)
+        expected[1] = det.diagonal
+        assert np.allclose(freq, expected, atol=4.0 / np.sqrt(n_trials))
+
+    def test_expected_transition_matches_expected_matrix(self, tiny_schema):
+        """Averaged over clients, Ã realises E[Ã] = A (Eq. 21)."""
+        engine = RandomizedGammaDiagonalPerturbation(
+            tiny_schema, 5.0, relative_alpha=1.0
+        )
+        n_trials = 200_000
+        freq = empirical_transition(tiny_schema, engine.perturb, 3, n_trials, seed=9)
+        det = engine.expected_matrix
+        expected = np.full(tiny_schema.joint_size, det.x)
+        expected[3] = det.diagonal
+        assert np.allclose(freq, expected, atol=4.0 / np.sqrt(n_trials))
+
+    def test_schema_mismatch_rejected(self, tiny_schema, survey_dataset):
+        engine = RandomizedGammaDiagonalPerturbation(tiny_schema, 19.0, alpha=0.0)
+        with pytest.raises(DataError):
+            engine.perturb(survey_dataset, seed=0)
+
+
+class TestMatrixPerturbation:
+    def test_identity_matrix_is_noop(self, tiny_schema, tiny_dataset):
+        engine = MatrixPerturbation(tiny_schema, np.eye(tiny_schema.joint_size))
+        assert engine.perturb(tiny_dataset, seed=0) == tiny_dataset
+
+    def test_empirical_matches_arbitrary_matrix(self, tiny_schema, rng):
+        n = tiny_schema.joint_size
+        raw = rng.uniform(0.1, 1.0, size=(n, n))
+        matrix = raw / raw.sum(axis=0, keepdims=True)
+        engine = MatrixPerturbation(tiny_schema, matrix)
+        n_trials = 150_000
+        freq = empirical_transition(tiny_schema, engine.perturb, 5, n_trials, seed=10)
+        assert np.allclose(freq, matrix[:, 5], atol=4.0 / np.sqrt(n_trials))
+
+    def test_dimension_mismatch_rejected(self, tiny_schema):
+        with pytest.raises(MatrixError):
+            MatrixPerturbation(tiny_schema, np.eye(4))
+
+    def test_matches_gamma_diagonal_engine(self, tiny_schema):
+        """Dense sampling of the gamma-diagonal matrix agrees with the
+        specialised engines -- three independent implementations of the
+        same distribution."""
+        gamma = 4.0
+        from repro.core.gamma_diagonal import GammaDiagonalMatrix
+
+        dense = GammaDiagonalMatrix(tiny_schema.joint_size, gamma).to_dense()
+        naive = MatrixPerturbation(tiny_schema, dense)
+        fast = GammaDiagonalPerturbation(tiny_schema, gamma)
+        n_trials = 120_000
+        f_naive = empirical_transition(tiny_schema, naive.perturb, 0, n_trials, seed=11)
+        f_fast = empirical_transition(tiny_schema, fast.perturb, 0, n_trials, seed=12)
+        assert np.allclose(f_naive, f_fast, atol=6.0 / np.sqrt(n_trials))

@@ -1,0 +1,123 @@
+"""Tests for repro.core.estimation (Theorem 1 and count variances)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import (
+    expected_perturbed_counts,
+    perturbed_count_variance,
+    randomization_variance_split,
+    relative_reconstruction_error,
+    theorem1_bound,
+    variance_eq10_form,
+)
+from repro.core.gamma_diagonal import GammaDiagonalMatrix
+from repro.exceptions import ReconstructionError
+
+row_and_counts = st.integers(min_value=2, max_value=20).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=n, max_size=n
+        ),
+        st.lists(st.integers(min_value=0, max_value=500), min_size=n, max_size=n),
+    )
+)
+
+
+class TestExpectedCounts:
+    def test_dense(self):
+        matrix = np.array([[0.7, 0.3], [0.3, 0.7]])
+        assert expected_perturbed_counts(matrix, [100, 0]) == pytest.approx([70, 30])
+
+    def test_structured(self):
+        matrix = GammaDiagonalMatrix(n=10, gamma=9.0)
+        x = np.ones(10) * 10
+        # Uniform input is a fixed point of any Markov matrix with
+        # uniform column sums.
+        assert expected_perturbed_counts(matrix, x) == pytest.approx(list(x))
+
+
+class TestVariance:
+    @given(row_and_counts)
+    @settings(max_examples=80)
+    def test_eq10_equals_bernoulli_form(self, row_counts):
+        """Paper Eq. (10) is algebraically sum_u X_u A_vu (1 - A_vu)."""
+        row, counts = row_counts
+        direct = perturbed_count_variance(row, counts)
+        eq10 = variance_eq10_form(row, counts)
+        assert eq10 == pytest.approx(direct, abs=1e-6 * max(1.0, direct))
+
+    def test_known_value(self):
+        # 100 records at p=0.5: variance 25.
+        assert perturbed_count_variance([0.5, 0.0], [100, 50]) == pytest.approx(25.0)
+
+    def test_zero_for_deterministic_rows(self):
+        assert perturbed_count_variance([1.0, 0.0], [10, 20]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReconstructionError):
+            perturbed_count_variance([0.5], [1, 2])
+
+    def test_empirical_variance_matches(self, rng):
+        """Monte-Carlo check of Var(Y_v) on a real perturbation."""
+        matrix = GammaDiagonalMatrix(n=6, gamma=4.0)
+        x = np.array([50, 10, 0, 0, 30, 10])
+        row = np.full(6, matrix.x)
+        row[0] = matrix.diagonal  # the row of perturbed value v=0
+        predicted = perturbed_count_variance(row, x)
+        originals = np.repeat(np.arange(6), x)
+        samples = []
+        for _ in range(3000):
+            keep = rng.random(originals.size) < matrix.keep_probability
+            out = np.where(keep, originals, rng.integers(0, 6, size=originals.size))
+            samples.append(np.sum(out == 0))
+        assert np.var(samples) == pytest.approx(predicted, rel=0.15)
+
+
+class TestTheorem1:
+    def test_bound_formula(self):
+        bound = theorem1_bound(10.0, observed=[11.0, 0.0], expected=[10.0, 0.0])
+        assert bound == pytest.approx(10.0 * 1.0 / 10.0)
+
+    def test_zero_expected_rejected(self):
+        with pytest.raises(ReconstructionError):
+            theorem1_bound(1.0, [1.0], [0.0])
+
+    def test_bound_holds_for_gamma_diagonal_reconstruction(self, rng):
+        """Observed relative error never exceeds the Theorem-1 bound."""
+        matrix = GammaDiagonalMatrix(n=8, gamma=6.0)
+        x = rng.uniform(50, 150, size=8)
+        expected_y = matrix.matvec(x)
+        for _ in range(25):
+            y = expected_y + rng.normal(0, 3.0, size=8)
+            estimate = matrix.solve(y)
+            lhs = relative_reconstruction_error(estimate, x)
+            rhs = theorem1_bound(matrix.condition_number(), y, expected_y)
+            assert lhs <= rhs + 1e-9
+
+    def test_relative_error_zero_for_exact(self):
+        assert relative_reconstruction_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_relative_error_zero_truth_rejected(self):
+        with pytest.raises(ReconstructionError):
+            relative_reconstruction_error([1.0], [0.0])
+
+
+class TestRandomizationSplit:
+    def test_triangle_inequality(self, rng):
+        for _ in range(20):
+            observed = rng.normal(size=5)
+            realized = rng.normal(size=5)
+            design = rng.normal(size=5)
+            total, fluctuation, bias = randomization_variance_split(
+                observed, realized, design
+            )
+            assert total <= fluctuation + bias + 1e-12
+
+    def test_deterministic_case_has_zero_bias(self):
+        y = np.array([1.0, 2.0])
+        total, fluctuation, bias = randomization_variance_split(y, y + 1, y + 1)
+        assert bias == 0.0
+        assert total == pytest.approx(fluctuation)

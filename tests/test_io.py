@@ -1,0 +1,51 @@
+"""Tests for repro.data.io (CSV round-tripping)."""
+
+import pytest
+
+from repro.data.io import load_csv, save_csv
+from repro.exceptions import DataError
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_dataset(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.csv"
+        save_csv(tiny_dataset, path)
+        loaded = load_csv(tiny_dataset.schema, path)
+        assert loaded == tiny_dataset
+
+    def test_file_is_label_valued(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.csv"
+        save_csv(tiny_dataset, path)
+        text = path.read_text()
+        assert text.splitlines()[0] == "color,size"
+        assert "red" in text and "blue" in text
+
+    def test_empty_dataset_roundtrip(self, tiny_schema, tmp_path):
+        import numpy as np
+
+        from repro.data.dataset import CategoricalDataset
+
+        empty = CategoricalDataset(tiny_schema, np.empty((0, 2), dtype=int))
+        path = tmp_path / "empty.csv"
+        save_csv(empty, path)
+        assert load_csv(tiny_schema, path).n_records == 0
+
+
+class TestLoadValidation:
+    def test_header_mismatch(self, tiny_dataset, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("wrong,header\nred,s\n")
+        with pytest.raises(DataError):
+            load_csv(tiny_dataset.schema, path)
+
+    def test_unknown_label(self, tiny_schema, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("color,size\npurple,s\n")
+        with pytest.raises(DataError):
+            load_csv(tiny_schema, path)
+
+    def test_empty_file(self, tiny_schema, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_csv(tiny_schema, path)

@@ -1,0 +1,67 @@
+"""Tests for repro.core.matrix (dense perturbation matrices)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import DensePerturbationMatrix
+from repro.exceptions import MatrixError
+
+
+@pytest.fixture
+def warner_like():
+    return DensePerturbationMatrix([[0.7, 0.3], [0.3, 0.7]])
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(MatrixError):
+            DensePerturbationMatrix(np.ones((2, 3)) / 2.0)
+
+    def test_rejects_bad_column_sums(self):
+        with pytest.raises(MatrixError) as err:
+            DensePerturbationMatrix([[0.5, 0.5], [0.4, 0.5]])
+        assert "Markov" in str(err.value)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(MatrixError):
+            DensePerturbationMatrix([[1.1, 0.0], [-0.1, 1.0]])
+
+    def test_accepts_identity(self):
+        matrix = DensePerturbationMatrix(np.eye(3))
+        assert matrix.n == 3
+
+    def test_input_copied_and_frozen(self):
+        source = np.array([[0.7, 0.3], [0.3, 0.7]])
+        matrix = DensePerturbationMatrix(source)
+        source[0, 0] = 0.0
+        assert matrix.to_dense()[0, 0] == pytest.approx(0.7)
+        with pytest.raises(ValueError):
+            matrix.to_dense()[0, 0] = 1.0
+
+
+class TestOperations:
+    def test_matvec(self, warner_like):
+        result = warner_like.matvec(np.array([10.0, 0.0]))
+        assert result == pytest.approx([7.0, 3.0])
+
+    def test_solve_roundtrip(self, warner_like):
+        x = np.array([3.0, 7.0])
+        assert warner_like.solve(warner_like.matvec(x)) == pytest.approx(list(x))
+
+    def test_solve_singular(self):
+        singular = DensePerturbationMatrix(np.full((2, 2), 0.5))
+        with pytest.raises(MatrixError):
+            singular.solve(np.ones(2))
+
+    def test_condition_number(self, warner_like):
+        # Eigenvalues 1 and 0.4.
+        assert warner_like.condition_number() == pytest.approx(2.5)
+
+    def test_amplification(self, warner_like):
+        assert warner_like.amplification() == pytest.approx(7.0 / 3.0)
+
+    def test_shape_validation(self, warner_like):
+        with pytest.raises(MatrixError):
+            warner_like.matvec(np.ones(3))
+        with pytest.raises(MatrixError):
+            warner_like.solve(np.ones(3))

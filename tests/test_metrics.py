@@ -1,0 +1,145 @@
+"""Tests for repro.metrics (accuracy and conditioning)."""
+
+import math
+
+import pytest
+
+from repro.data.census import census_schema
+from repro.data.health import health_schema
+from repro.exceptions import ExperimentError, MiningError
+from repro.metrics.accuracy import (
+    MiningErrors,
+    evaluate_mining,
+    identity_errors,
+    support_error,
+)
+from repro.metrics.conditioning import (
+    condition_numbers_by_length,
+    cp_condition_number,
+    gamma_diagonal_condition_number,
+    mask_condition_number,
+)
+from repro.mining.apriori import AprioriResult
+from repro.mining.itemsets import Itemset
+
+A, B, C = Itemset.of((0, 0)), Itemset.of((0, 1)), Itemset.of((1, 0))
+
+
+class TestSupportError:
+    def test_paper_formula(self):
+        true = {A: 0.10, B: 0.20}
+        est = {A: 0.11, B: 0.16}
+        # (|0.01|/0.1 + |0.04|/0.2)/2 * 100 = (0.1 + 0.2)/2*100 = 15.
+        assert support_error(true, est) == pytest.approx(15.0)
+
+    def test_only_common_itemsets_counted(self):
+        true = {A: 0.10, B: 0.20}
+        est = {A: 0.10, C: 0.99}
+        assert support_error(true, est) == pytest.approx(0.0)
+
+    def test_empty_intersection_is_nan(self):
+        assert math.isnan(support_error({A: 0.1}, {B: 0.1}))
+
+    def test_zero_true_support_rejected(self):
+        with pytest.raises(MiningError):
+            support_error({A: 0.0}, {A: 0.1})
+
+
+class TestIdentityErrors:
+    def test_paper_formulas(self):
+        true = {A: 0.1, B: 0.1}
+        est = {A: 0.1, C: 0.1}
+        plus, minus = identity_errors(true, est)
+        assert plus == pytest.approx(50.0)   # C is a false positive
+        assert minus == pytest.approx(50.0)  # B was missed
+
+    def test_perfect(self):
+        true = {A: 0.1}
+        plus, minus = identity_errors(true, dict(true))
+        assert (plus, minus) == (0.0, 0.0)
+
+    def test_nothing_found(self):
+        plus, minus = identity_errors({A: 0.1, B: 0.2}, {})
+        assert (plus, minus) == (0.0, 100.0)
+
+    def test_no_true_frequent_is_nan(self):
+        plus, minus = identity_errors({}, {A: 0.1})
+        assert math.isnan(plus) and math.isnan(minus)
+
+    def test_false_positives_can_exceed_100(self):
+        true = {A: 0.1}
+        est = {B: 0.1, C: 0.1}
+        plus, _ = identity_errors(true, est)
+        assert plus == pytest.approx(200.0)
+
+
+class TestEvaluateMining:
+    def test_per_length_alignment(self):
+        truth = AprioriResult(min_support=0.1)
+        truth.by_length = {1: {A: 0.3, B: 0.2}, 2: {Itemset.of((0, 0), (1, 0)): 0.15}}
+        est = AprioriResult(min_support=0.1)
+        est.by_length = {1: {A: 0.33, B: 0.18}}
+        errors = evaluate_mining(truth, est)
+        assert errors.lengths() == [1, 2]
+        assert errors.sigma_minus[2] == pytest.approx(100.0)
+        assert errors.rho[1] == pytest.approx(10.0)
+
+    def test_extra_length_in_estimate(self):
+        truth = AprioriResult(min_support=0.1)
+        truth.by_length = {1: {A: 0.3}}
+        est = AprioriResult(min_support=0.1)
+        est.by_length = {1: {A: 0.3}, 2: {Itemset.of((0, 0), (1, 0)): 0.2}}
+        errors = evaluate_mining(truth, est)
+        assert math.isnan(errors.sigma_plus[2])  # no true level-2 itemsets
+
+    def test_mining_errors_dataclass(self):
+        errors = MiningErrors()
+        assert errors.lengths() == []
+
+
+class TestConditioning:
+    def test_det_gd_flat_at_paper_values(self):
+        """CENSUS: 1 + 2000/18 = 112.1; HEALTH: 1 + 7500/18 = 417.7."""
+        census = census_schema()
+        values = {
+            k: gamma_diagonal_condition_number(census, 19.0, k) for k in range(1, 7)
+        }
+        assert all(v == pytest.approx(2018 / 18) for v in values.values())
+        health = health_schema()
+        assert gamma_diagonal_condition_number(health, 19.0, 3) == pytest.approx(
+            7518 / 18
+        )
+
+    def test_mask_exponential(self):
+        census = census_schema()
+        c2 = mask_condition_number(census, 19.0, 2)
+        c4 = mask_condition_number(census, 19.0, 4)
+        assert c4 == pytest.approx(c2**2, rel=1e-6)
+
+    def test_cp_explodes_beyond_cut(self):
+        census = census_schema()
+        within = cp_condition_number(census, 19.0, 3)
+        beyond = cp_condition_number(census, 19.0, 4)
+        assert beyond > within * 1000
+
+    def test_series_structure(self):
+        series = condition_numbers_by_length(census_schema(), 19.0)
+        assert set(series) == {"DET-GD", "RAN-GD", "MASK", "C&P"}
+        assert series["DET-GD"] == series["RAN-GD"]
+        lengths = sorted(series["MASK"])
+        assert lengths == [1, 2, 3, 4, 5, 6]
+
+    def test_fig4_crossover(self):
+        """MASK starts below DET-GD but crosses above by length ~3 --
+        the visual crossover of Fig. 4."""
+        series = condition_numbers_by_length(census_schema(), 19.0)
+        assert series["MASK"][1] < series["DET-GD"][1]
+        assert series["MASK"][6] > series["DET-GD"][6] * 100
+
+    def test_length_validation(self):
+        with pytest.raises(ExperimentError):
+            gamma_diagonal_condition_number(census_schema(), 19.0, 7)
+        with pytest.raises(ExperimentError):
+            mask_condition_number(census_schema(), 19.0, 0)
+        with pytest.raises(ExperimentError):
+            cp_condition_number(census_schema(), 19.0, 9)

@@ -1,0 +1,130 @@
+"""Tests for the paper's CENSUS and HEALTH datasets (Tables 1-3)."""
+
+import pytest
+
+from repro.data.census import CENSUS_N_RECORDS, census_mixture, census_schema, generate_census
+from repro.data.health import HEALTH_N_RECORDS, generate_health, health_mixture, health_schema
+from repro.experiments.tables import PAPER_TABLE3
+from repro.mining.reconstructing import mine_exact
+
+
+class TestCensusSchema:
+    """Paper Table 1, verbatim."""
+
+    def test_attribute_names_and_order(self):
+        assert census_schema().names == (
+            "age",
+            "fnlwgt",
+            "hours-per-week",
+            "race",
+            "sex",
+            "native-country",
+        )
+
+    def test_cardinalities(self):
+        assert census_schema().cardinalities == (4, 5, 5, 5, 2, 2)
+
+    def test_joint_size(self):
+        assert census_schema().joint_size == 2000
+
+    def test_nominal_categories(self):
+        schema = census_schema()
+        assert schema["race"].categories == (
+            "White",
+            "Asian-Pac-Islander",
+            "Amer-Indian-Eskimo",
+            "Other",
+            "Black",
+        )
+        assert schema["sex"].categories == ("Female", "Male")
+        assert schema["native-country"].categories == ("United-States", "Other")
+
+    def test_age_bins(self):
+        assert census_schema()["age"].categories == (
+            "(15-35]",
+            "(35-55]",
+            "(55-75]",
+            "> 75",
+        )
+
+
+class TestHealthSchema:
+    """Paper Table 2, verbatim."""
+
+    def test_attribute_names_and_order(self):
+        assert health_schema().names == (
+            "AGE",
+            "BDDAY12",
+            "DV12",
+            "PHONE",
+            "SEX",
+            "INCFAM20",
+            "HEALTH",
+        )
+
+    def test_cardinalities(self):
+        assert health_schema().cardinalities == (5, 5, 5, 3, 2, 2, 5)
+
+    def test_joint_size(self):
+        assert health_schema().joint_size == 7500
+
+    def test_health_status_categories(self):
+        assert health_schema()["HEALTH"].categories == (
+            "Excellent",
+            "Very Good",
+            "Good",
+            "Fair",
+            "Poor",
+        )
+
+
+class TestGenerators:
+    def test_default_sizes(self):
+        assert CENSUS_N_RECORDS == 50_000
+        assert HEALTH_N_RECORDS == 100_000
+
+    def test_census_deterministic(self):
+        assert generate_census(1000) == generate_census(1000)
+
+    def test_health_deterministic(self):
+        assert generate_health(1000) == generate_health(1000)
+
+    def test_custom_seed_changes_data(self):
+        assert generate_census(1000, seed=1) != generate_census(1000, seed=2)
+
+    def test_mixture_weights_feasible(self):
+        assert 0.0 <= census_mixture().background_mass <= 1.0
+        assert 0.0 <= health_mixture().background_mass <= 1.0
+
+    def test_schemas_match_generators(self):
+        assert generate_census(10).schema == census_schema()
+        assert generate_health(10).schema == health_schema()
+
+
+@pytest.mark.slow
+class TestTable3Shape:
+    """The generators are calibrated so frequent-itemset counts at
+    supmin=2% have the same shape as paper Table 3."""
+
+    def test_census_counts_close_to_paper(self):
+        counts = mine_exact(generate_census(), 0.02).counts_by_length()
+        paper = PAPER_TABLE3["CENSUS"]
+        assert set(counts) == set(paper), "same maximum pattern length"
+        assert counts[1] == paper[1], "frequent singletons match exactly"
+        for length, expected in paper.items():
+            assert counts[length] == pytest.approx(expected, rel=0.35), (
+                f"length {length}"
+            )
+
+    def test_health_counts_close_to_paper(self):
+        counts = mine_exact(generate_health(), 0.02).counts_by_length()
+        paper = PAPER_TABLE3["HEALTH"]
+        assert set(counts) == set(paper)
+        for length, expected in paper.items():
+            assert counts[length] == pytest.approx(expected, rel=0.35), (
+                f"length {length}"
+            )
+
+    def test_census_has_long_patterns(self):
+        counts = mine_exact(generate_census(20_000), 0.02).counts_by_length()
+        assert counts.get(6, 0) >= 5

@@ -1,0 +1,133 @@
+"""Tests for repro.core.privacy (the (rho1, rho2) amplification model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.privacy import (
+    PrivacyRequirement,
+    amplification,
+    gamma_from_rho,
+    rho2_from_gamma,
+    satisfies_amplification,
+    worst_case_posterior,
+)
+from repro.exceptions import MatrixError, PrivacyError
+
+rho_pairs = st.tuples(
+    st.floats(min_value=0.01, max_value=0.5),
+    st.floats(min_value=0.51, max_value=0.99),
+)
+
+
+class TestGammaFromRho:
+    def test_paper_example(self):
+        """(5%, 50%) -> gamma = 19 (paper Section 7)."""
+        assert gamma_from_rho(0.05, 0.50) == pytest.approx(19.0)
+
+    def test_another_value(self):
+        assert gamma_from_rho(0.10, 0.50) == pytest.approx(9.0)
+
+    @given(rho_pairs)
+    def test_always_above_one(self, pair):
+        rho1, rho2 = pair
+        assert gamma_from_rho(rho1, rho2) > 1.0
+
+    @given(rho_pairs)
+    def test_roundtrip_with_rho2_from_gamma(self, pair):
+        rho1, rho2 = pair
+        gamma = gamma_from_rho(rho1, rho2)
+        assert rho2_from_gamma(rho1, gamma) == pytest.approx(rho2)
+
+    def test_ordering_required(self):
+        with pytest.raises(PrivacyError):
+            gamma_from_rho(0.5, 0.5)
+        with pytest.raises(PrivacyError):
+            gamma_from_rho(0.6, 0.5)
+
+    def test_open_interval_required(self):
+        with pytest.raises(PrivacyError):
+            gamma_from_rho(0.0, 0.5)
+        with pytest.raises(PrivacyError):
+            gamma_from_rho(0.05, 1.0)
+
+    def test_rho2_from_gamma_validation(self):
+        with pytest.raises(PrivacyError):
+            rho2_from_gamma(0.05, 1.0)
+        with pytest.raises(PrivacyError):
+            rho2_from_gamma(1.5, 19.0)
+
+
+class TestWorstCasePosterior:
+    def test_paper_section41_example(self):
+        """P(Q)=5%, gamma-diagonal with gamma=19: posterior = 50%."""
+        # max_p/min_p = gamma; absolute scale cancels.
+        assert worst_case_posterior(0.05, 19.0, 1.0) == pytest.approx(0.50)
+
+    def test_no_information(self):
+        assert worst_case_posterior(0.3, 1.0, 1.0) == pytest.approx(0.3)
+
+    def test_extremes(self):
+        assert worst_case_posterior(0.0, 2.0, 1.0) == 0.0
+        assert worst_case_posterior(1.0, 2.0, 1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(PrivacyError):
+            worst_case_posterior(1.2, 1.0, 1.0)
+        with pytest.raises(PrivacyError):
+            worst_case_posterior(0.5, -1.0, 1.0)
+        with pytest.raises(PrivacyError):
+            worst_case_posterior(0.5, 0.0, 0.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_monotone_in_ratio(self, prior, ratio):
+        low = worst_case_posterior(prior, 1.0, 1.0)
+        high = worst_case_posterior(prior, ratio, 1.0)
+        assert high >= low - 1e-12
+
+
+class TestAmplification:
+    def test_uniform_matrix(self):
+        assert amplification(np.full((3, 3), 1 / 3)) == pytest.approx(1.0)
+
+    def test_known_ratio(self):
+        matrix = np.array([[0.6, 0.2], [0.4, 0.8]])
+        assert amplification(matrix) == pytest.approx(3.0)
+
+    def test_zero_rows_skipped(self):
+        matrix = np.array([[1.0, 1.0], [0.0, 0.0]])
+        assert amplification(matrix) == pytest.approx(1.0)
+
+    def test_mixed_zero_is_infinite(self):
+        matrix = np.array([[1.0, 0.5], [0.0, 0.5]])
+        assert amplification(matrix) == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(MatrixError):
+            amplification(np.array([[-0.1, 1.1], [1.1, -0.1]]))
+
+    def test_satisfies_amplification(self):
+        matrix = np.array([[0.6, 0.2], [0.4, 0.8]])
+        assert satisfies_amplification(matrix, 3.0)
+        assert not satisfies_amplification(matrix, 2.9)
+
+
+class TestPrivacyRequirement:
+    def test_paper_requirement(self):
+        req = PrivacyRequirement(0.05, 0.50)
+        assert req.gamma == pytest.approx(19.0)
+
+    def test_invalid_rejected_at_construction(self):
+        with pytest.raises(PrivacyError):
+            PrivacyRequirement(0.5, 0.4)
+
+    def test_admits(self):
+        req = PrivacyRequirement(0.05, 0.50)
+        ok = np.array([[0.6, 0.4], [0.4, 0.6]])
+        assert req.admits(ok)
+        leaky = np.array([[0.99, 0.01], [0.01, 0.99]])
+        assert not req.admits(leaky)

@@ -1,0 +1,129 @@
+"""Tests for repro.core.randomized (RAN-GD, paper Section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.randomized import RandomizedGammaDiagonal
+from repro.exceptions import PrivacyError
+
+randomized_strategy = st.builds(
+    RandomizedGammaDiagonal.from_relative_alpha,
+    n=st.integers(min_value=2, max_value=100),
+    gamma=st.floats(min_value=1.5, max_value=50.0),
+    relative_alpha=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestConstruction:
+    def test_alpha_zero_is_deterministic(self):
+        randomized = RandomizedGammaDiagonal(n=10, gamma=19.0, alpha=0.0)
+        assert np.all(randomized.draw_r(100, seed=0) == 0.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(PrivacyError):
+            RandomizedGammaDiagonal(n=10, gamma=19.0, alpha=-0.1)
+
+    def test_infeasible_alpha_rejected(self):
+        bound = RandomizedGammaDiagonal.max_alpha(10, 19.0)
+        with pytest.raises(PrivacyError):
+            RandomizedGammaDiagonal(n=10, gamma=19.0, alpha=bound * 1.1)
+
+    def test_relative_alpha_bounds(self):
+        with pytest.raises(PrivacyError):
+            RandomizedGammaDiagonal.from_relative_alpha(10, 19.0, 1.2)
+        with pytest.raises(PrivacyError):
+            RandomizedGammaDiagonal.from_relative_alpha(10, 19.0, -0.1)
+
+    def test_max_alpha_small_domain(self):
+        """For small n the off-diagonal feasibility binds first."""
+        ref_x = 1.0 / (19.0 + 1.0)
+        assert RandomizedGammaDiagonal.max_alpha(2, 19.0) == pytest.approx(ref_x)
+
+    def test_max_alpha_large_domain(self):
+        """For large n the diagonal bound gamma*x binds."""
+        n, gamma = 2000, 19.0
+        x = 1.0 / (gamma + n - 1)
+        assert RandomizedGammaDiagonal.max_alpha(n, gamma) == pytest.approx(gamma * x)
+
+
+class TestRealizations:
+    @given(randomized_strategy)
+    @settings(max_examples=50)
+    def test_realized_entries_are_probabilities(self, randomized):
+        r = randomized.draw_r(500, seed=1)
+        assert np.all(np.abs(r) <= randomized.alpha + 1e-12)
+        diag = randomized.diagonal(r)
+        off = randomized.off_diagonal(r)
+        assert np.all(diag >= -1e-12)
+        assert np.all(off >= -1e-12)
+        # Columns still sum to one for every realisation.
+        totals = diag + (randomized.n - 1) * off
+        assert np.allclose(totals, 1.0)
+
+    @given(randomized_strategy)
+    @settings(max_examples=50)
+    def test_keep_probability_consistent(self, randomized):
+        r = randomized.draw_r(100, seed=2)
+        q = randomized.keep_probability(r)
+        n = randomized.n
+        assert np.allclose(q + (1 - q) / n, randomized.diagonal(r), atol=1e-12)
+        assert np.allclose((1 - q) / n, randomized.off_diagonal(r), atol=1e-12)
+
+    def test_expectation_is_deterministic_matrix(self):
+        randomized = RandomizedGammaDiagonal.from_relative_alpha(50, 19.0, 0.8)
+        r = randomized.draw_r(200_000, seed=3)
+        # Standard error of the mean is ~2.9e-4; allow 4 sigma.
+        assert randomized.diagonal(r).mean() == pytest.approx(
+            randomized.expected.diagonal, abs=1.2e-3
+        )
+
+    def test_draws_are_deterministic_with_seed(self):
+        randomized = RandomizedGammaDiagonal.from_relative_alpha(50, 19.0, 0.5)
+        assert np.array_equal(
+            randomized.draw_r(10, seed=4), randomized.draw_r(10, seed=4)
+        )
+
+
+class TestPosteriorAnalysis:
+    def test_paper_section41_range(self):
+        """P(Q)=5%, gamma=19, alpha=gamma*x/2: range about [33%, 60%]
+        around the deterministic 50% (paper's worked example)."""
+        n = 2000  # CENSUS joint size; the range is n-independent
+        randomized = RandomizedGammaDiagonal.from_relative_alpha(n, 19.0, 0.5)
+        lo, mid, hi = randomized.posterior_range(0.05)
+        assert mid == pytest.approx(0.50, abs=0.01)
+        assert lo == pytest.approx(1 / 3, abs=0.02)
+        assert hi == pytest.approx(0.60, abs=0.02)
+
+    def test_determinable_breach_is_lower_end(self):
+        randomized = RandomizedGammaDiagonal.from_relative_alpha(2000, 19.0, 0.5)
+        assert randomized.determinable_breach(0.05) == pytest.approx(
+            randomized.posterior_range(0.05)[0]
+        )
+
+    def test_zero_alpha_collapses_range(self):
+        randomized = RandomizedGammaDiagonal(n=100, gamma=19.0, alpha=0.0)
+        lo, mid, hi = randomized.posterior_range(0.05)
+        assert lo == pytest.approx(mid) == pytest.approx(hi)
+
+    @given(
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=50)
+    def test_range_widens_with_alpha(self, rel_alpha, prior):
+        n, gamma = 200, 19.0
+        narrow = RandomizedGammaDiagonal.from_relative_alpha(n, gamma, rel_alpha / 2)
+        wide = RandomizedGammaDiagonal.from_relative_alpha(n, gamma, rel_alpha)
+        lo_n, _, hi_n = narrow.posterior_range(prior)
+        lo_w, _, hi_w = wide.posterior_range(prior)
+        assert lo_w <= lo_n + 1e-12
+        assert hi_w >= hi_n - 1e-12
+
+    def test_full_alpha_zeroes_determinable_breach(self):
+        """At alpha = gamma*x the lower diagonal reaches 0: the miner
+        cannot rule out posterior 0."""
+        randomized = RandomizedGammaDiagonal.from_relative_alpha(2000, 19.0, 1.0)
+        assert randomized.determinable_breach(0.05) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,96 @@
+"""Tests for repro.experiments.reporting and the frapp CLI."""
+
+import math
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.reporting import (
+    render_figure_panels,
+    render_schema_table,
+    render_series_table,
+)
+
+
+class TestSeriesTable:
+    def test_alignment_and_content(self):
+        series = {"DET-GD": {1: 10.0, 2: 20.5}, "MASK": {1: 5.0, 2: 1e6}}
+        text = render_series_table(series)
+        lines = text.splitlines()
+        assert lines[0].split() == ["length", "1", "2"]
+        assert "DET-GD" in text and "MASK" in text
+        assert "1.00e+06" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = render_series_table({"a": {1: math.nan}})
+        assert text.splitlines()[-1].endswith("-")
+
+    def test_missing_column_rendered_as_dash(self):
+        text = render_series_table({"a": {1: 1.0}, "b": {2: 2.0}})
+        assert "-" in text.splitlines()[-1]
+
+    def test_inf(self):
+        text = render_series_table({"a": {1: float("inf")}})
+        assert "inf" in text
+
+    def test_float_columns(self):
+        text = render_series_table({"a": {0.5: 1.0}}, x_label="alpha")
+        assert "0.50" in text
+
+
+class TestSchemaTable:
+    def test_contents(self):
+        text = render_schema_table([("age", ("(15-35]", "> 75"))])
+        assert "age" in text and "(15-35]" in text
+
+
+class TestFigurePanels:
+    def test_panel_headers(self):
+        panels = {"rho": {"DET-GD": {1: 1.0}}, "sigma_minus": {"DET-GD": {1: 0.0}}}
+        text = render_figure_panels(panels)
+        assert "[rho]" in text and "[sigma_minus]" in text
+
+
+class TestCli:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig9"])
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "native-country" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "INCFAM20" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(a)" in out and "Figure 4(b)" in out
+        assert "112.1" in out
+
+    def test_table3_quick(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "CENSUS (measured)" in out and "HEALTH (paper)" in out
+
+    def test_fig1_quick(self, capsys):
+        assert main(["fig1", "--records", "3000", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "[rho]" in out and "DET-GD" in out
+
+    def test_sweep_gamma_quick(self, capsys):
+        assert main(["sweep-gamma", "--records", "3000", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "vs gamma" in out and "sigma_minus" in out
+
+    def test_fig3_quick(self, capsys):
+        assert main(["fig3", "--records", "3000", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3(a)" in out and "rho2_minus" in out

@@ -1,0 +1,58 @@
+"""Tests for repro.stats.rng."""
+
+import numpy as np
+import pytest
+
+from repro.stats.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_generators(5, 2)
+        a, b = children[0].random(10), children[1].random(10)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_from_int_seed(self):
+        a = [g.random() for g in spawn_generators(9, 3)]
+        b = [g.random() for g in spawn_generators(9, 3)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_generators(gen, 2)
+        assert len(children) == 2
+        assert all(isinstance(c, np.random.Generator) for c in children)

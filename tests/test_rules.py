@@ -1,0 +1,98 @@
+"""Tests for repro.mining.rules."""
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.mining.apriori import AprioriResult
+from repro.mining.itemsets import Itemset
+from repro.mining.rules import association_rules
+
+
+@pytest.fixture
+def result():
+    """Hand-built mining result with known supports."""
+    a, b = Itemset.of((0, 0)), Itemset.of((1, 0))
+    ab = Itemset.of((0, 0), (1, 0))
+    res = AprioriResult(min_support=0.1)
+    res.by_length[1] = {a: 0.5, b: 0.4}
+    res.by_length[2] = {ab: 0.3}
+    return res
+
+
+class TestRuleGeneration:
+    def test_confidence_and_lift(self, result):
+        rules = association_rules(result, min_confidence=0.5)
+        by_antecedent = {r.antecedent: r for r in rules}
+        a_to_b = by_antecedent[Itemset.of((0, 0))]
+        assert a_to_b.confidence == pytest.approx(0.3 / 0.5)
+        assert a_to_b.lift == pytest.approx((0.3 / 0.5) / 0.4)
+        b_to_a = by_antecedent[Itemset.of((1, 0))]
+        assert b_to_a.confidence == pytest.approx(0.75)
+
+    def test_min_confidence_filters(self, result):
+        rules = association_rules(result, min_confidence=0.7)
+        assert all(r.confidence >= 0.7 for r in rules)
+        assert len(rules) == 1  # only b -> a at 0.75
+
+    def test_sorted_by_confidence(self, result):
+        rules = association_rules(result, min_confidence=0.1)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_singletons_generate_nothing(self):
+        res = AprioriResult(min_support=0.1)
+        res.by_length[1] = {Itemset.of((0, 0)): 0.5}
+        assert association_rules(res) == []
+
+    def test_missing_subset_skipped(self):
+        """Estimated results may lack a subset's support; skip quietly."""
+        ab = Itemset.of((0, 0), (1, 0))
+        res = AprioriResult(min_support=0.1)
+        res.by_length[1] = {Itemset.of((0, 0)): 0.5}  # (1,0) missing
+        res.by_length[2] = {ab: 0.3}
+        rules = association_rules(res, min_confidence=0.1)
+        assert len(rules) == 0  # a->b lacks consequent support; b->a lacks antecedent
+
+    def test_three_item_rules(self):
+        abc = Itemset.of((0, 0), (1, 0), (2, 0))
+        res = AprioriResult(min_support=0.05)
+        res.by_length[1] = {
+            Itemset.of((0, 0)): 0.6,
+            Itemset.of((1, 0)): 0.5,
+            Itemset.of((2, 0)): 0.4,
+        }
+        res.by_length[2] = {
+            Itemset.of((0, 0), (1, 0)): 0.35,
+            Itemset.of((0, 0), (2, 0)): 0.3,
+            Itemset.of((1, 0), (2, 0)): 0.25,
+        }
+        res.by_length[3] = {abc: 0.2}
+        rules = association_rules(res, min_confidence=0.2)
+        # 6 proper antecedents of abc + 2 per pair = 6 + 6 rules candidates.
+        from_abc = [r for r in rules if r.support == pytest.approx(0.2)]
+        assert len(from_abc) == 6
+
+    def test_validation(self, result):
+        with pytest.raises(MiningError):
+            association_rules(result, min_confidence=0.0)
+        with pytest.raises(MiningError):
+            association_rules(result, min_confidence=1.5)
+
+    def test_label(self, result, tiny_schema):
+        rules = association_rules(result, min_confidence=0.5)
+        label = rules[0].label(tiny_schema)
+        assert "=>" in label
+
+
+class TestEndToEnd:
+    def test_rules_from_real_mining(self, survey_dataset):
+        from repro.mining.reconstructing import mine_exact
+
+        result = mine_exact(survey_dataset, 0.10)
+        rules = association_rules(result, min_confidence=0.6)
+        for rule in rules:
+            # Confidence must equal support ratio from the result itself.
+            full = rule.antecedent.union(rule.consequent)
+            assert rule.confidence == pytest.approx(
+                result.support_of(full) / result.support_of(rule.antecedent)
+            )

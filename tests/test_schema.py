@@ -1,0 +1,159 @@
+"""Tests for repro.data.schema."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import SchemaError
+
+
+def schema_strategy(max_attrs=4, max_card=5):
+    cards = st.lists(
+        st.integers(min_value=2, max_value=max_card), min_size=1, max_size=max_attrs
+    )
+    return cards.map(
+        lambda cs: Schema(
+            Attribute(f"a{i}", [f"c{j}" for j in range(c)]) for i, c in enumerate(cs)
+        )
+    )
+
+
+class TestAttribute:
+    def test_basic(self):
+        attr = Attribute("sex", ["F", "M"])
+        assert attr.cardinality == 2
+        assert attr.index_of("M") == 1
+
+    def test_unknown_label(self):
+        with pytest.raises(SchemaError):
+            Attribute("sex", ["F", "M"]).index_of("X")
+
+    def test_needs_two_categories(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", ["only"])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", ["a", "a"])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("", ["a", "b"])
+
+    def test_labels_coerced_to_str(self):
+        attr = Attribute("bins", [0, 1, 2])
+        assert attr.categories == ("0", "1", "2")
+
+
+class TestSchemaBasics:
+    def test_shape_properties(self, survey_schema):
+        assert survey_schema.n_attributes == 3
+        assert survey_schema.cardinalities == (3, 2, 2)
+        assert survey_schema.joint_size == 12
+        assert survey_schema.n_boolean == 7
+
+    def test_names_and_lookup(self, survey_schema):
+        assert survey_schema.names == ("smokes", "sex", "income")
+        assert survey_schema.position_of("income") == 2
+        assert survey_schema["sex"].cardinality == 2
+        assert survey_schema[0].name == "smokes"
+
+    def test_unknown_name(self, survey_schema):
+        with pytest.raises(SchemaError):
+            survey_schema.position_of("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("a", "xy"), Attribute("a", "xy")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_prefix_products(self, survey_schema):
+        assert survey_schema.prefix_products() == (3, 6, 12)
+
+    def test_boolean_offsets(self, survey_schema):
+        assert survey_schema.boolean_offsets() == (0, 3, 5)
+
+    def test_subset_size(self, survey_schema):
+        assert survey_schema.subset_size([0, 2]) == 6
+        assert survey_schema.subset_size([1]) == 2
+
+    def test_subset_size_validation(self, survey_schema):
+        with pytest.raises(SchemaError):
+            survey_schema.subset_size([0, 0])
+        with pytest.raises(SchemaError):
+            survey_schema.subset_size([5])
+
+    def test_iteration(self, survey_schema):
+        assert [a.name for a in survey_schema] == ["smokes", "sex", "income"]
+        assert len(survey_schema) == 3
+
+    def test_describe_mentions_all_attributes(self, survey_schema):
+        text = survey_schema.describe()
+        for name in survey_schema.names:
+            assert name in text
+
+    def test_equality(self):
+        a = Schema([Attribute("x", "ab")])
+        b = Schema([Attribute("x", "ab")])
+        assert a == b
+
+
+class TestEncoding:
+    def test_known_values(self, tiny_schema):
+        # Mixed radix, attribute 0 most significant: (1, 2) -> 1*3+2 = 5.
+        assert tiny_schema.encode([[1, 2]]).tolist() == [5]
+        assert tiny_schema.encode([[0, 0]]).tolist() == [0]
+
+    def test_decode_known(self, tiny_schema):
+        assert tiny_schema.decode([5]).tolist() == [[1, 2]]
+
+    @given(schema_strategy(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60)
+    def test_roundtrip(self, schema, seed):
+        rng = np.random.default_rng(seed)
+        records = np.stack(
+            [rng.integers(0, c, size=20) for c in schema.cardinalities], axis=1
+        )
+        joint = schema.encode(records)
+        assert np.all(joint >= 0) and np.all(joint < schema.joint_size)
+        assert np.array_equal(schema.decode(joint), records)
+
+    def test_encode_shape_validation(self, tiny_schema):
+        with pytest.raises(SchemaError):
+            tiny_schema.encode([[0, 0, 0]])
+        with pytest.raises(SchemaError):
+            tiny_schema.encode([0, 1])
+
+    def test_decode_range_validation(self, tiny_schema):
+        with pytest.raises(SchemaError):
+            tiny_schema.decode([6])
+        with pytest.raises(SchemaError):
+            tiny_schema.decode([-1])
+
+    def test_subset_roundtrip(self, survey_schema, rng):
+        records = np.stack(
+            [rng.integers(0, c, size=50) for c in survey_schema.cardinalities], axis=1
+        )
+        positions = (0, 2)
+        joint = survey_schema.encode_subset(records, positions)
+        assert joint.max() < survey_schema.subset_size(positions)
+        decoded = survey_schema.decode_subset(joint, positions)
+        assert np.array_equal(decoded, records[:, list(positions)])
+
+    def test_subset_encode_empty_rejected(self, survey_schema):
+        with pytest.raises(SchemaError):
+            survey_schema.encode_subset(np.zeros((1, 3), dtype=int), [])
+
+    def test_subset_consistency_with_full(self, survey_schema, rng):
+        """Encoding the full attribute list equals the plain encoding."""
+        records = np.stack(
+            [rng.integers(0, c, size=30) for c in survey_schema.cardinalities], axis=1
+        )
+        full = survey_schema.encode(records)
+        subset = survey_schema.encode_subset(records, range(survey_schema.n_attributes))
+        assert np.array_equal(full, subset)

@@ -1,0 +1,121 @@
+"""Tests for repro.data.synthetic (mixture-model generator)."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Attribute, Schema
+from repro.data.synthetic import MixtureModel, Prototype
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def schema():
+    return Schema([Attribute("a", "xy"), Attribute("b", "pqr")])
+
+
+@pytest.fixture
+def marginals():
+    return [(0.7, 0.3), (0.5, 0.3, 0.2)]
+
+
+class TestValidation:
+    def test_marginal_count(self, schema):
+        with pytest.raises(DataError):
+            MixtureModel(schema, [(0.5, 0.5)])
+
+    def test_marginal_shape(self, schema):
+        with pytest.raises(DataError):
+            MixtureModel(schema, [(0.5, 0.5), (0.5, 0.5)])
+
+    def test_marginal_sums_to_one(self, schema):
+        with pytest.raises(DataError):
+            MixtureModel(schema, [(0.6, 0.6), (0.5, 0.3, 0.2)])
+
+    def test_negative_marginal(self, schema):
+        with pytest.raises(DataError):
+            MixtureModel(schema, [(1.2, -0.2), (0.5, 0.3, 0.2)])
+
+    def test_prototype_arity(self, schema, marginals):
+        with pytest.raises(DataError):
+            MixtureModel(schema, marginals, [Prototype((0,), 0.1)])
+
+    def test_prototype_domain(self, schema, marginals):
+        with pytest.raises(DataError):
+            MixtureModel(schema, marginals, [Prototype((0, 5), 0.1)])
+
+    def test_prototype_weight_sign(self):
+        with pytest.raises(DataError):
+            Prototype((0, 0), -0.1)
+
+    def test_total_weight_capped(self, schema, marginals):
+        with pytest.raises(DataError):
+            MixtureModel(
+                schema, marginals, [Prototype((0, 0), 0.6), Prototype((1, 1), 0.6)]
+            )
+
+    def test_noise_range(self, schema, marginals):
+        with pytest.raises(DataError):
+            MixtureModel(schema, marginals, noise=1.5)
+
+    def test_negative_n_records(self, schema, marginals):
+        with pytest.raises(DataError):
+            MixtureModel(schema, marginals).sample(-1)
+
+
+class TestSampling:
+    def test_shape_and_domain(self, schema, marginals):
+        model = MixtureModel(schema, marginals)
+        data = model.sample(500, seed=0)
+        assert data.n_records == 500
+        assert data.schema == schema
+
+    def test_deterministic_with_seed(self, schema, marginals):
+        model = MixtureModel(schema, marginals)
+        assert model.sample(100, seed=5) == model.sample(100, seed=5)
+
+    def test_background_matches_marginals(self, schema, marginals):
+        model = MixtureModel(schema, marginals)
+        data = model.sample(60_000, seed=1)
+        freq = data.value_counts(0) / data.n_records
+        assert freq[0] == pytest.approx(0.7, abs=0.01)
+
+    def test_zero_noise_prototypes_exact(self, schema, marginals):
+        model = MixtureModel(
+            schema, marginals, [Prototype((1, 2), 1.0)], noise=0.0
+        )
+        data = model.sample(200, seed=2)
+        assert np.all(data.records == [1, 2])
+
+    def test_prototypes_create_correlation(self, schema, marginals):
+        """A heavy prototype makes its joint cell far exceed the
+        independent-marginals product."""
+        model = MixtureModel(
+            schema, marginals, [Prototype((1, 2), 0.4)], noise=0.05
+        )
+        data = model.sample(50_000, seed=3)
+        joint = data.joint_counts() / data.n_records
+        cell = schema.encode(np.array([[1, 2]]))[0]
+        independent = 0.3 * 0.2
+        assert joint[cell] > independent + 0.2
+
+    def test_expected_marginal_matches_empirical(self, schema, marginals):
+        model = MixtureModel(
+            schema,
+            marginals,
+            [Prototype((0, 1), 0.25), Prototype((1, 0), 0.15)],
+            noise=0.2,
+        )
+        data = model.sample(120_000, seed=4)
+        for attr in range(2):
+            expected = model.expected_marginal(attr)
+            assert expected.sum() == pytest.approx(1.0)
+            empirical = data.value_counts(attr) / data.n_records
+            assert np.allclose(empirical, expected, atol=0.01)
+
+    def test_background_mass(self, schema, marginals):
+        model = MixtureModel(schema, marginals, [Prototype((0, 0), 0.3)])
+        assert model.background_mass == pytest.approx(0.7)
+
+    def test_empty_sample(self, schema, marginals):
+        data = MixtureModel(schema, marginals).sample(0, seed=0)
+        assert data.n_records == 0

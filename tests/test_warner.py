@@ -1,0 +1,68 @@
+"""Tests for repro.baselines.warner (randomized response anchor)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.warner import WarnerRandomizedResponse
+from repro.core.reconstruction import reconstruct_counts
+from repro.exceptions import DataError, MatrixError
+
+
+class TestConstruction:
+    def test_gamma(self):
+        assert WarnerRandomizedResponse(0.75).gamma == pytest.approx(3.0)
+
+    def test_p_range(self):
+        with pytest.raises(MatrixError):
+            WarnerRandomizedResponse(0.5)
+        with pytest.raises(MatrixError):
+            WarnerRandomizedResponse(1.0)
+
+    def test_gamma_diagonal_equivalence(self):
+        """The Warner matrix IS the n=2 gamma-diagonal matrix."""
+        warner = WarnerRandomizedResponse(0.75)
+        matrix = warner.as_gamma_diagonal()
+        dense = matrix.to_dense()
+        assert dense[0, 0] == pytest.approx(0.75)
+        assert dense[0, 1] == pytest.approx(0.25)
+
+
+class TestPerturbation:
+    def test_flip_rate(self, rng):
+        warner = WarnerRandomizedResponse(0.8)
+        answers = np.zeros(50_000, dtype=int)
+        responses = warner.perturb(answers, seed=rng)
+        assert responses.mean() == pytest.approx(0.2, abs=0.01)
+
+    def test_input_validation(self):
+        warner = WarnerRandomizedResponse(0.8)
+        with pytest.raises(DataError):
+            warner.perturb(np.array([[0, 1]]))
+        with pytest.raises(DataError):
+            warner.perturb(np.array([0, 2]))
+
+
+class TestEstimation:
+    def test_estimator_unbiased(self, rng):
+        warner = WarnerRandomizedResponse(0.7)
+        truth = 0.23
+        answers = (rng.random(200_000) < truth).astype(int)
+        responses = warner.perturb(answers, seed=rng)
+        assert warner.estimate_proportion(responses) == pytest.approx(truth, abs=0.01)
+
+    def test_equals_frapp_reconstruction(self, rng):
+        """Warner's textbook estimator equals FRAPP's matrix inverse --
+        FRAPP subsumes randomized response exactly."""
+        warner = WarnerRandomizedResponse(0.65)
+        answers = (rng.random(10_000) < 0.4).astype(int)
+        responses = warner.perturb(answers, seed=rng)
+
+        counts = np.bincount(responses, minlength=2).astype(float)
+        frapp = reconstruct_counts(warner.as_gamma_diagonal(), counts)
+        assert warner.estimate_proportion(responses) == pytest.approx(
+            frapp[1] / len(answers), abs=1e-10
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            WarnerRandomizedResponse(0.7).estimate_proportion(np.array([]))
