@@ -1,12 +1,30 @@
-"""Legacy setup shim.
+"""Packaging for the FRAPP reproduction.
 
-The execution environment ships setuptools without the ``wheel``
-package, so PEP-517 editable installs (which build a wheel) fail.  This
-shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
-take the classic ``setup.py develop`` path; all metadata lives in
-pyproject.toml.
+Kept as a classic ``setup.py`` (rather than PEP-621 metadata in
+pyproject.toml) because the execution environment ships setuptools
+without the ``wheel`` package, so PEP-517 editable installs (which
+build a wheel) fail.  ``pip install -e . --no-build-isolation
+--no-use-pep517`` takes the classic ``setup.py develop`` path;
+pyproject.toml carries only tool configuration (pytest markers).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="frapp-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Agrawal & Haritsa (ICDE 2005): FRAPP, the "
+        "gamma-diagonal perturbation framework for privacy-preserving mining"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": ["frapp = repro.experiments.cli:main"],
+    },
+)

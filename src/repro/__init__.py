@@ -47,6 +47,14 @@ from repro.data import (
 )
 from repro.exceptions import FrappError
 from repro.metrics import evaluate_mining
+from repro.pipeline import (
+    AccumulatedSupportEstimator,
+    JointCountAccumulator,
+    PerturbationPipeline,
+    mine_stream,
+    reconstruct_stream,
+    stream_perturbed_counts,
+)
 from repro.mining import (
     AprioriResult,
     CutAndPasteMiner,
@@ -66,6 +74,7 @@ from repro.mining import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AccumulatedSupportEstimator",
     "AdditiveNoisePerturbation",
     "AprioriResult",
     "Attribute",
@@ -77,9 +86,11 @@ __all__ = [
     "GammaDiagonalMatrix",
     "GammaDiagonalPerturbation",
     "Itemset",
+    "JointCountAccumulator",
     "MaskMiner",
     "MaskPerturbation",
     "NaiveBayesClassifier",
+    "PerturbationPipeline",
     "PrivacyRequirement",
     "RanGDMiner",
     "RandomizedGammaDiagonal",
@@ -100,5 +111,8 @@ __all__ = [
     "make_miner",
     "mine_exact",
     "mine_per_level",
+    "mine_stream",
     "reconstruct_counts",
+    "reconstruct_stream",
+    "stream_perturbed_counts",
 ]

@@ -24,6 +24,25 @@ Three engines are provided:
   dense perturbation matrix over the joint domain (the naive algorithm
   at the start of Section 5).  Exponential-size domains need not apply;
   it exists for baselines, tests and small analytical studies.
+
+Chunk-splittable sampling
+-------------------------
+Every engine exposes three layers:
+
+* ``perturb(dataset, seed)`` -- the one-shot whole-dataset API;
+* ``perturb_chunk(records, rng)`` -- perturb a raw ``(m, M)`` record
+  array, advancing ``rng``;
+* ``perturb_joint(joint, rng)`` -- perturb raw joint indices (the
+  fastest path: no decode/encode round trip), advancing ``rng``.
+
+All samplers consume randomness as a *fixed-width block of uniforms
+per record, in record order* (two uniforms per record for DET-GD,
+three for RAN-GD, one for the dense sampler; the ``"sequential"``
+method is record-sequential by construction).  This is the invariant
+the streaming pipeline (:mod:`repro.pipeline`) relies on: threading a
+single generator through consecutive chunks consumes the stream exactly
+like the one-shot call, so chunked output is bit-identical to
+``perturb()`` regardless of the chunk size.
 """
 
 from __future__ import annotations
@@ -41,35 +60,47 @@ from repro.stats.rng import as_generator
 _METHODS = ("vectorized", "sequential")
 
 
+def _realise_diagonal_or_other(
+    joint: np.ndarray,
+    diagonal_probs: np.ndarray,
+    n: int,
+    draws: np.ndarray,
+) -> np.ndarray:
+    """Realise ``V = U`` w.p. ``diag``, else uniform over the other
+    ``n - 1`` joint values, from a pre-drawn ``(m, 2)`` uniform block.
+
+    ``draws[:, 0]`` decides keep-vs-replace against ``diagonal_probs``
+    and ``draws[:, 1]`` maps to a cyclic shift in ``1..n-1`` -- exact
+    uniformity over the *other* values, fully vectorised.  This
+    realises any matrix with diagonal ``diag`` and constant
+    off-diagonal ``(1 - diag)/(n - 1)`` exactly -- including randomized
+    realisations whose diagonal falls *below* the uniform ``1/n``
+    (where the naive keep-or-uniform mixture would need a negative keep
+    probability).  Shifts are drawn for kept records too so every
+    record consumes the same number of uniforms.
+    """
+    if joint.shape[0] == 0:
+        return joint.copy()
+    keep = draws[:, 0] < diagonal_probs
+    shifts = 1 + (draws[:, 1] * (n - 1)).astype(np.int64)
+    return np.where(keep, joint, (joint + shifts) % n)
+
+
 def _diagonal_or_other(
     schema: Schema,
     records: np.ndarray,
     diagonal_probs: np.ndarray,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Sample ``V_i = U_i`` w.p. ``diag_i``, else uniform over the
-    *other* ``n - 1`` joint values.
-
-    This realises any matrix with diagonal ``diag`` and constant
-    off-diagonal ``(1 - diag)/(n - 1)`` exactly -- including randomized
-    realisations whose diagonal falls *below* the uniform ``1/n`` (where
-    the naive keep-or-uniform mixture would need a negative keep
-    probability).  Uniformity over the others uses a cyclic shift in
-    joint-index space, which is exact and vectorises.
-    """
+    """Record-array front-end of :func:`_realise_diagonal_or_other`."""
     n_records = records.shape[0]
     if n_records == 0:
         return records.copy()
-    n = schema.joint_size
-    keep = rng.random(n_records) < diagonal_probs
     joint = schema.encode(records)
-    replace = ~keep
-    n_replace = int(replace.sum())
-    if n_replace:
-        shifts = rng.integers(1, n, size=n_replace)
-        joint = joint.copy()
-        joint[replace] = (joint[replace] + shifts) % n
-    return schema.decode(joint)
+    draws = rng.random((n_records, 2))
+    return schema.decode(
+        _realise_diagonal_or_other(joint, diagonal_probs, schema.joint_size, draws)
+    )
 
 
 class GammaDiagonalPerturbation:
@@ -101,12 +132,29 @@ class GammaDiagonalPerturbation:
         if dataset.schema != self.schema:
             raise DataError("dataset schema does not match the perturbation schema")
         rng = as_generator(seed)
+        return CategoricalDataset(self.schema, self.perturb_chunk(dataset.records, rng))
+
+    def perturb_chunk(self, records: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Perturb a raw ``(m, M)`` record array, advancing ``rng``."""
         if self.method == "vectorized":
-            diag = np.full(dataset.n_records, self.matrix.diagonal)
-            perturbed = _diagonal_or_other(self.schema, dataset.records, diag, rng)
-        else:
-            perturbed = self._perturb_sequential(dataset.records, rng)
-        return CategoricalDataset(self.schema, perturbed)
+            diag = np.full(records.shape[0], self.matrix.diagonal)
+            return _diagonal_or_other(self.schema, records, diag, rng)
+        return self._perturb_sequential(records, rng)
+
+    def perturb_joint(self, joint: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Perturb raw joint indices, advancing ``rng``.
+
+        The streaming pipeline's fast path: no decode/encode round trip.
+        Draw-stream-compatible with :meth:`perturb_chunk` for the
+        vectorized method (two uniforms per record).
+        """
+        if self.method != "vectorized":
+            records = self.schema.decode(joint)
+            return self.schema.encode(self._perturb_sequential(records, rng))
+        draws = rng.random((joint.shape[0], 2))
+        return _realise_diagonal_or_other(
+            joint, self.matrix.diagonal, self.schema.joint_size, draws
+        )
 
     # ------------------------------------------------------------------
     # Section-5 reference sampler
@@ -119,7 +167,8 @@ class GammaDiagonalPerturbation:
         matched its original, keep column ``j`` with probability
         ``(gamma + n/n_j - 1) x / prod_k p_k``; after the first
         mismatch, the conditional distribution collapses to uniform over
-        ``S^j_U``.
+        ``S^j_U``.  Randomness is consumed record by record, so the
+        sampler is chunk-splittable as-is.
         """
         gamma, x = self.matrix.gamma, self.matrix.x
         n = self.schema.joint_size
@@ -189,10 +238,29 @@ class RandomizedGammaDiagonalPerturbation:
         if dataset.schema != self.schema:
             raise DataError("dataset schema does not match the perturbation schema")
         rng = as_generator(seed)
-        r = self.distribution.draw_r(dataset.n_records, seed=rng)
+        return CategoricalDataset(self.schema, self.perturb_chunk(dataset.records, rng))
+
+    def perturb_chunk(self, records: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Perturb a raw ``(m, M)`` record array, advancing ``rng``."""
+        if records.shape[0] == 0:
+            return records.copy()
+        return self.schema.decode(self.perturb_joint(self.schema.encode(records), rng))
+
+    def perturb_joint(self, joint: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Perturb raw joint indices, advancing ``rng``.
+
+        Consumes exactly three uniforms per record (``r`` realisation,
+        keep decision, replacement shift) -- drawn as one ``(m, 3)``
+        block so the stream is chunk-splittable even at ``alpha = 0``.
+        """
+        if joint.shape[0] == 0:
+            return joint.copy()
+        draws = rng.random((joint.shape[0], 3))
+        r = (2.0 * draws[:, 0] - 1.0) * self.distribution.alpha
         diag = self.distribution.diagonal(r)
-        perturbed = _diagonal_or_other(self.schema, dataset.records, diag, rng)
-        return CategoricalDataset(self.schema, perturbed)
+        return _realise_diagonal_or_other(
+            joint, diag, self.schema.joint_size, draws[:, 1:]
+        )
 
 
 class MatrixPerturbation:
@@ -214,18 +282,42 @@ class MatrixPerturbation:
                 f"{schema.joint_size}"
             )
         self.matrix = matrix
+        self._cdf = None
+
+    def _cumulative(self) -> np.ndarray:
+        """Column-wise CDFs of ``A`` (cached; last row forced to 1)."""
+        if self._cdf is None:
+            cdf = np.cumsum(self.matrix.to_dense(), axis=0)
+            cdf[-1, :] = 1.0
+            self._cdf = cdf
+        return self._cdf
 
     def perturb(self, dataset: CategoricalDataset, seed=None) -> CategoricalDataset:
         """Sample ``V_i ~ A[:, U_i]`` independently for every record."""
         if dataset.schema != self.schema:
             raise DataError("dataset schema does not match the perturbation schema")
         rng = as_generator(seed)
-        dense = self.matrix.to_dense()
-        original = dataset.joint_indices()
-        perturbed = np.empty_like(original)
-        # Group records by original value so each column distribution is
-        # sampled once, in bulk.
-        for u in np.unique(original):
-            mask = original == u
-            perturbed[mask] = rng.choice(self.matrix.n, size=int(mask.sum()), p=dense[:, u])
+        perturbed = self.perturb_joint(dataset.joint_indices(), rng)
         return CategoricalDataset.from_joint_indices(self.schema, perturbed)
+
+    def perturb_chunk(self, records: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Perturb a raw ``(m, M)`` record array, advancing ``rng``."""
+        if records.shape[0] == 0:
+            return records.copy()
+        return self.schema.decode(self.perturb_joint(self.schema.encode(records), rng))
+
+    def perturb_joint(self, joint: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Inverse-CDF sampling: one uniform per record, in record order.
+
+        Records are grouped by original value only for the CDF search,
+        not for the draws, so the stream stays chunk-splittable.
+        """
+        if joint.shape[0] == 0:
+            return joint.copy()
+        u = rng.random(joint.shape[0])
+        cdf = self._cumulative()
+        perturbed = np.empty_like(joint)
+        for value in np.unique(joint):
+            mask = joint == value
+            perturbed[mask] = np.searchsorted(cdf[:, value], u[mask], side="right")
+        return np.minimum(perturbed, self.matrix.n - 1)

@@ -28,7 +28,7 @@ from repro.data.discretize import (
     interval_labels,
 )
 from repro.data.health import generate_health, health_schema
-from repro.data.io import load_csv, save_csv
+from repro.data.io import iter_csv_chunks, load_csv, save_csv, save_csv_chunks
 from repro.data.schema import Attribute, Schema
 from repro.data.synthetic import MixtureModel, Prototype
 
@@ -47,6 +47,8 @@ __all__ = [
     "generate_health",
     "health_schema",
     "interval_labels",
+    "iter_csv_chunks",
     "load_csv",
     "save_csv",
+    "save_csv_chunks",
 ]

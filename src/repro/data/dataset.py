@@ -169,6 +169,20 @@ class CategoricalDataset:
         card = self.schema.cardinalities[attribute]
         return np.bincount(self.records[:, attribute], minlength=card).astype(np.int64)
 
+    def iter_chunks(self, chunk_size: int):
+        """Yield consecutive record slices as datasets of ``<= chunk_size``.
+
+        The streaming substrate: perturbation pipelines and chunked CSV
+        writers consume datasets this way so no stage ever has to
+        materialise more than one chunk of derived data.
+        """
+        if chunk_size < 1:
+            raise DataError(f"chunk_size must be >= 1, got {chunk_size}")
+        for start in range(0, self.n_records, chunk_size):
+            yield CategoricalDataset(
+                self.schema, self.records[start : start + chunk_size]
+            )
+
     def sample(self, size: int, rng: np.random.Generator) -> "CategoricalDataset":
         """Uniform random subsample (without replacement) of ``size`` records."""
         if not 0 <= size <= self.n_records:

@@ -24,6 +24,64 @@ def save_csv(dataset: CategoricalDataset, path) -> None:
         writer.writerows(dataset.labels())
 
 
+def save_csv_chunks(schema: Schema, chunks, path) -> int:
+    """Stream an iterable of chunks to one CSV file.
+
+    Chunks may be :class:`CategoricalDataset` instances (e.g. from
+    ``dataset.iter_chunks``) or raw ``(m, M)`` record arrays (what
+    ``PerturbationPipeline.perturb_stream`` yields).  Writes the header
+    once, then appends every chunk's rows; returns the total number of
+    records written.  The streaming counterpart of :func:`save_csv`:
+    combined with :func:`iter_csv_chunks` and the perturbation
+    pipeline, datasets larger than memory round-trip through disk one
+    chunk at a time.
+    """
+    path = Path(path)
+    total = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(schema.names)
+        for chunk in chunks:
+            if not isinstance(chunk, CategoricalDataset):
+                chunk = CategoricalDataset(schema, chunk)
+            elif chunk.schema != schema:
+                raise DataError("chunk schema does not match the target schema")
+            writer.writerows(chunk.labels())
+            total += chunk.n_records
+    return total
+
+
+def iter_csv_chunks(schema: Schema, path, chunk_size: int):
+    """Yield :class:`CategoricalDataset` chunks of ``<= chunk_size`` rows.
+
+    Reads a label-valued CSV written by :func:`save_csv` /
+    :func:`save_csv_chunks` incrementally, so files larger than memory
+    can feed the streaming pipeline.  The header is validated exactly
+    like :func:`load_csv`.
+    """
+    if chunk_size < 1:
+        raise DataError(f"chunk_size must be >= 1, got {chunk_size}")
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty (no header row)") from None
+        if tuple(header) != schema.names:
+            raise DataError(
+                f"CSV header {tuple(header)} does not match schema {schema.names}"
+            )
+        rows = []
+        for row in reader:
+            rows.append(row)
+            if len(rows) >= chunk_size:
+                yield CategoricalDataset.from_labels(schema, rows)
+                rows = []
+        if rows:
+            yield CategoricalDataset.from_labels(schema, rows)
+
+
 def load_csv(schema: Schema, path) -> CategoricalDataset:
     """Read a label-valued CSV written by :func:`save_csv`.
 

@@ -216,6 +216,35 @@ class Schema:
         unraveled = np.unravel_index(joint_indices, cards)
         return np.stack(unraveled, axis=1).astype(np.int64)
 
+    def marginalize_counts(self, counts, positions) -> np.ndarray:
+        """Project joint-domain counts onto an attribute subset ``Cs``.
+
+        Given a length-``|S_U|`` count (or weight) vector over the joint
+        domain, returns the length-``n_Cs`` vector over the sub-domain
+        of ``positions``, indexed exactly like
+        :meth:`encode_subset`/:meth:`decode_subset` (i.e. in
+        ``positions`` order).  For integer counts of a dataset this
+        equals ``dataset.subset_counts(positions)`` -- which is what
+        lets the streaming pipeline answer *any* subset query from one
+        accumulated joint-count vector.
+        """
+        positions = self._validate_positions(positions)
+        if not positions:
+            raise SchemaError("attribute subset must be non-empty")
+        counts = np.asarray(counts)
+        if counts.shape != (self.joint_size,):
+            raise SchemaError(
+                f"counts must have shape ({self.joint_size},), got {counts.shape}"
+            )
+        tensor = counts.reshape(self.cardinalities)
+        other = tuple(a for a in range(self.n_attributes) if a not in positions)
+        if other:
+            tensor = tensor.sum(axis=other)
+        # Axes now run over sorted(positions); reorder to positions order.
+        remaining = sorted(positions)
+        tensor = np.transpose(tensor, axes=[remaining.index(p) for p in positions])
+        return tensor.reshape(-1)
+
     # ------------------------------------------------------------------
     # booleanization (MASK substrate)
     # ------------------------------------------------------------------

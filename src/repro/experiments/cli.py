@@ -49,6 +49,8 @@ def _config_from_args(args) -> ExperimentConfig:
         min_support=args.min_support,
         seed=args.seed,
         n_records=args.records,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
     )
 
 
@@ -139,6 +141,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--min-support", type=float, default=0.02, help="support threshold"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for DET-GD/RAN-GD perturbation (1 = in-process)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="records per pipeline chunk (unset = one-shot when workers=1)",
     )
     return parser
 

@@ -64,6 +64,13 @@ class ExperimentConfig:
     #: figures plot); ``"apriori"`` runs the deployable cascade where
     #: identification errors compound across levels.
     protocol: str = "per-level"
+    #: Chunked/multi-worker execution of the gamma-diagonal mechanisms
+    #: (see DESIGN.md, "Scaling").  ``workers=1`` with ``chunk_size``
+    #: unset is the direct one-shot path; any other combination routes
+    #: DET-GD/RAN-GD through :class:`repro.pipeline.PerturbationPipeline`
+    #: (MASK and C&P always run direct).
+    workers: int = 1
+    chunk_size: int | None = None
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self):
@@ -80,6 +87,12 @@ class ExperimentConfig:
         if self.protocol not in ("per-level", "apriori"):
             raise ExperimentError(
                 f"protocol must be 'per-level' or 'apriori', got {self.protocol!r}"
+            )
+        if self.workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ExperimentError(
+                f"chunk_size must be >= 1 (or None), got {self.chunk_size}"
             )
 
     def records_for(self, dataset_default: int) -> int:

@@ -67,13 +67,29 @@ def run_mechanism(
         true_result = mine_exact(dataset, config.min_support)
     miner = _build_miner(mechanism, dataset.schema, config)
     effective_seed = seed if seed is not None else config.seed
+    # Only the gamma-diagonal mechanisms have a chunked/multi-worker
+    # execution path; MASK and C&P always run direct.
+    pipeline_kwargs = {}
+    if mechanism.upper() in ("DET-GD", "RAN-GD") and (
+        config.workers != 1 or config.chunk_size is not None
+    ):
+        pipeline_kwargs = {
+            "workers": config.workers,
+            "chunk_size": config.chunk_size,
+        }
     start = time.perf_counter()
     if config.protocol == "per-level":
         result = miner.mine_per_level(
-            dataset, config.min_support, true_result, seed=effective_seed
+            dataset,
+            config.min_support,
+            true_result,
+            seed=effective_seed,
+            **pipeline_kwargs,
         )
     else:
-        result = miner.mine(dataset, config.min_support, seed=effective_seed)
+        result = miner.mine(
+            dataset, config.min_support, seed=effective_seed, **pipeline_kwargs
+        )
     elapsed = time.perf_counter() - start
     errors = evaluate_mining(true_result, result)
     return MechanismRun(

@@ -33,24 +33,56 @@ from repro.data.schema import Schema
 from repro.exceptions import DataError, MiningError
 
 
-def _subset_support_lookup(dataset: CategoricalDataset, itemsets) -> np.ndarray:
-    """Fractional support of each itemset via shared per-subset counts."""
-    n = dataset.n_records
-    if n == 0:
+def supports_from_subset_counts(
+    schema: Schema, n_records: int, subset_counts, itemsets
+) -> np.ndarray:
+    """Fractional support of each itemset via shared per-subset counts.
+
+    ``subset_counts(attrs)`` supplies the count vector over an attribute
+    subset's sub-domain -- a dataset's ``subset_counts`` for direct
+    counting, or a :class:`repro.pipeline.JointCountAccumulator`'s for
+    the streaming path.  One lookup per distinct subset is shared by all
+    its itemsets.
+    """
+    if n_records == 0:
         raise MiningError("cannot count supports of an empty dataset")
     cache: dict[tuple[int, ...], np.ndarray] = {}
     supports = np.empty(len(itemsets))
-    cards = dataset.schema.cardinalities
+    cards = schema.cardinalities
     for i, itemset in enumerate(itemsets):
         attrs = itemset.attributes
         counts = cache.get(attrs)
         if counts is None:
-            counts = dataset.subset_counts(attrs)
+            counts = subset_counts(attrs)
             cache[attrs] = counts
         dims = [cards[a] for a in attrs]
         cell = int(np.ravel_multi_index(itemset.values, dims=dims))
-        supports[i] = counts[cell] / n
+        supports[i] = counts[cell] / n_records
     return supports
+
+
+def _subset_support_lookup(dataset: CategoricalDataset, itemsets) -> np.ndarray:
+    """Fractional support of each itemset by direct dataset counting."""
+    return supports_from_subset_counts(
+        dataset.schema, dataset.n_records, dataset.subset_counts, itemsets
+    )
+
+
+def reconstruct_gamma_diagonal_supports(
+    schema: Schema, observed: np.ndarray, itemsets, gamma: float
+) -> np.ndarray:
+    """Eq.-28 closed-form estimates from observed subset supports.
+
+    Shared by the dataset-backed estimator and the streaming
+    accumulated-count estimator; estimates may be negative for rare
+    itemsets.
+    """
+    full = schema.joint_size
+    estimates = np.empty(len(itemsets))
+    for i, itemset in enumerate(itemsets):
+        subset = schema.subset_size(itemset.attributes)
+        estimates[i] = estimate_subset_supports(observed[i], gamma, full, subset)
+    return estimates
 
 
 class ExactSupportCounter:
@@ -85,15 +117,9 @@ class GammaDiagonalSupportEstimator:
         """Eq.-28 closed-form estimates; may be negative for rare sets."""
         itemsets = list(itemsets)
         observed = _subset_support_lookup(self.perturbed, itemsets)
-        schema = self.perturbed.schema
-        full = schema.joint_size
-        estimates = np.empty(len(itemsets))
-        for i, itemset in enumerate(itemsets):
-            subset = schema.subset_size(itemset.attributes)
-            estimates[i] = estimate_subset_supports(
-                observed[i], self.gamma, full, subset
-            )
-        return estimates
+        return reconstruct_gamma_diagonal_supports(
+            self.perturbed.schema, observed, itemsets, self.gamma
+        )
 
 
 class MaskSupportEstimator:

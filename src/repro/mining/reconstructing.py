@@ -89,7 +89,82 @@ def mine_per_level(
     return result
 
 
-class DetGDMiner:
+class _GammaDiagonalMinerBase:
+    """Shared driver logic for the two gamma-diagonal mechanisms.
+
+    Both DET-GD and RAN-GD reconstruct with the deterministic matrix
+    (``E[Ã] = A``), so they share the estimator construction -- and the
+    optional chunked/multi-worker execution path: passing ``workers``
+    and/or ``chunk_size`` to ``build_estimator`` / ``mine`` /
+    ``mine_per_level`` routes perturbation through
+    :class:`repro.pipeline.PerturbationPipeline` and estimates supports
+    from accumulated joint counts instead of a materialised perturbed
+    dataset.  With ``workers=1`` the chunked estimates are bit-identical
+    to the direct path for the same seed (see DESIGN.md, "Scaling").
+    """
+
+    def perturb(self, dataset: CategoricalDataset, seed=None) -> CategoricalDataset:
+        """Client-side step (exposed for inspection and reuse)."""
+        return self.perturbation.perturb(dataset, seed=seed)
+
+    def build_estimator(
+        self, dataset, seed=None, workers: int = 1, chunk_size=None
+    ):
+        """Perturb and wrap in this mechanism's support estimator.
+
+        ``dataset`` may also be a chunk iterable (e.g.
+        :func:`repro.data.io.iter_csv_chunks`) when a pipeline option is
+        set; the direct path requires a materialised dataset.
+        """
+        if workers == 1 and chunk_size is None:
+            perturbed = self.perturb(dataset, seed=seed)
+            return GammaDiagonalSupportEstimator(perturbed, self.gamma)
+        from repro.pipeline import (
+            DEFAULT_CHUNK_SIZE,
+            AccumulatedSupportEstimator,
+            PerturbationPipeline,
+        )
+
+        pipeline = PerturbationPipeline(
+            self.perturbation,
+            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+            workers=workers,
+        )
+        return AccumulatedSupportEstimator(
+            pipeline.accumulate(dataset, seed=seed), self.gamma
+        )
+
+    def mine(
+        self,
+        dataset: CategoricalDataset,
+        min_support: float,
+        seed=None,
+        max_length=None,
+        workers: int = 1,
+        chunk_size=None,
+    ) -> AprioriResult:
+        estimator = self.build_estimator(
+            dataset, seed=seed, workers=workers, chunk_size=chunk_size
+        )
+        return apriori(estimator, self.schema, min_support, max_length)
+
+    def mine_per_level(
+        self,
+        dataset: CategoricalDataset,
+        min_support: float,
+        true_result,
+        seed=None,
+        workers: int = 1,
+        chunk_size=None,
+    ) -> AprioriResult:
+        """Per-level evaluation protocol (see :func:`mine_per_level`)."""
+        estimator = self.build_estimator(
+            dataset, seed=seed, workers=workers, chunk_size=chunk_size
+        )
+        return mine_per_level(estimator, self.schema, min_support, true_result)
+
+
+class DetGDMiner(_GammaDiagonalMinerBase):
     """DET-GD pipeline: gamma-diagonal perturbation + Eq.-28 estimates."""
 
     name = "DET-GD"
@@ -99,30 +174,8 @@ class DetGDMiner:
         self.gamma = float(gamma)
         self.perturbation = GammaDiagonalPerturbation(schema, gamma)
 
-    def perturb(self, dataset: CategoricalDataset, seed=None) -> CategoricalDataset:
-        """Client-side step (exposed for inspection and reuse)."""
-        return self.perturbation.perturb(dataset, seed=seed)
 
-    def build_estimator(self, dataset: CategoricalDataset, seed=None):
-        """Perturb and wrap in this mechanism's support estimator."""
-        perturbed = self.perturb(dataset, seed=seed)
-        return GammaDiagonalSupportEstimator(perturbed, self.gamma)
-
-    def mine(
-        self, dataset: CategoricalDataset, min_support: float, seed=None, max_length=None
-    ) -> AprioriResult:
-        estimator = self.build_estimator(dataset, seed=seed)
-        return apriori(estimator, self.schema, min_support, max_length)
-
-    def mine_per_level(
-        self, dataset: CategoricalDataset, min_support: float, true_result, seed=None
-    ) -> AprioriResult:
-        """Per-level evaluation protocol (see :func:`mine_per_level`)."""
-        estimator = self.build_estimator(dataset, seed=seed)
-        return mine_per_level(estimator, self.schema, min_support, true_result)
-
-
-class RanGDMiner:
+class RanGDMiner(_GammaDiagonalMinerBase):
     """RAN-GD pipeline: randomized matrices, reconstruction via ``E[Ã]``."""
 
     name = "RAN-GD"
@@ -137,27 +190,6 @@ class RanGDMiner:
     @property
     def alpha(self) -> float:
         return self.perturbation.alpha
-
-    def perturb(self, dataset: CategoricalDataset, seed=None) -> CategoricalDataset:
-        return self.perturbation.perturb(dataset, seed=seed)
-
-    def build_estimator(self, dataset: CategoricalDataset, seed=None):
-        """Perturb and wrap in the shared gamma-diagonal estimator."""
-        perturbed = self.perturb(dataset, seed=seed)
-        return GammaDiagonalSupportEstimator(perturbed, self.gamma)
-
-    def mine(
-        self, dataset: CategoricalDataset, min_support: float, seed=None, max_length=None
-    ) -> AprioriResult:
-        estimator = self.build_estimator(dataset, seed=seed)
-        return apriori(estimator, self.schema, min_support, max_length)
-
-    def mine_per_level(
-        self, dataset: CategoricalDataset, min_support: float, true_result, seed=None
-    ) -> AprioriResult:
-        """Per-level evaluation protocol (see :func:`mine_per_level`)."""
-        estimator = self.build_estimator(dataset, seed=seed)
-        return mine_per_level(estimator, self.schema, min_support, true_result)
 
 
 class MaskMiner:

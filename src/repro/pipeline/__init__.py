@@ -1,0 +1,38 @@
+"""Streaming + multi-worker perturbation pipeline.
+
+FRAPP's mechanisms are embarrassingly parallel -- every client record
+is perturbed independently -- and the miner only ever consumes count
+vectors.  This package exploits both facts to turn the one-shot
+``engine.perturb(dataset)`` API into a production-shaped pipeline:
+
+* :mod:`repro.pipeline.chunking` -- bounded-batch iteration over
+  datasets, arrays and chunk streams;
+* :mod:`repro.pipeline.accumulator` -- incremental joint-count
+  accumulation (``O(|S_U|)`` memory, order-independent, mergeable);
+* :mod:`repro.pipeline.executor` -- the chunked
+  :class:`PerturbationPipeline` with multi-process fan-out and the
+  SeedSequence-based determinism contract (DESIGN.md, "Scaling");
+* :mod:`repro.pipeline.streaming` -- reconstruction and Apriori mining
+  straight from accumulated counts, for datasets larger than memory.
+"""
+
+from repro.pipeline.accumulator import JointCountAccumulator
+from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE, iter_record_chunks
+from repro.pipeline.executor import PerturbationPipeline
+from repro.pipeline.streaming import (
+    AccumulatedSupportEstimator,
+    mine_stream,
+    reconstruct_stream,
+    stream_perturbed_counts,
+)
+
+__all__ = [
+    "AccumulatedSupportEstimator",
+    "DEFAULT_CHUNK_SIZE",
+    "JointCountAccumulator",
+    "PerturbationPipeline",
+    "iter_record_chunks",
+    "mine_stream",
+    "reconstruct_stream",
+    "stream_perturbed_counts",
+]

@@ -1,0 +1,248 @@
+"""The chunked / multi-worker perturbation executor.
+
+:class:`PerturbationPipeline` wraps any perturbation engine that
+implements the chunk protocol of :mod:`repro.core.engine`
+(``perturb_chunk(records, rng)`` / ``perturb_joint(joint, rng)``) and
+runs it over a stream of record chunks, optionally fanning the chunks
+out to a pool of worker processes.
+
+Determinism contract
+--------------------
+Two seeding disciplines are offered (``seeding=``):
+
+* ``"sequential"`` -- one generator is threaded through the chunks in
+  order.  Because every engine consumes a fixed-width block of uniforms
+  per record *in record order* (see :mod:`repro.core.engine`), the
+  output is **bit-identical to the one-shot** ``engine.perturb(dataset,
+  seed)`` for the same seed, for *any* chunk size.  A shared stream
+  cannot be split across processes, so this discipline always executes
+  serially.
+* ``"spawn"`` -- chunk ``i`` receives the ``i``-th child of
+  ``numpy.random.SeedSequence(seed)`` (spawned incrementally, so the
+  number of chunks need not be known up front).  Chunk outputs are then
+  statistically independent and fixed by ``(seed, chunk boundaries)``
+  alone -- **invariant across worker counts**, including serial
+  execution.
+
+``seeding="auto"`` (the default) picks ``"sequential"`` when
+``workers == 1`` and ``"spawn"`` otherwise, i.e. single-worker runs
+reproduce the one-shot path exactly and multi-worker runs are
+reproducible across pool sizes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.exceptions import DataError, ExperimentError
+from repro.pipeline.accumulator import JointCountAccumulator
+from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE, iter_record_chunks
+from repro.stats.rng import as_generator, as_seed_sequence
+
+_SEEDINGS = ("auto", "sequential", "spawn")
+
+#: Engine handed to each pool worker once at startup (via
+#: ``_init_worker``), so tasks carry only (chunk, seed) -- the engine
+#: (and any state it caches lazily, like the dense sampler's CDF) is
+#: shipped and built per *worker*, not per chunk.
+_WORKER_ENGINE = None
+
+
+def _init_worker(engine):
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = engine
+
+
+def _perturb_records(engine, task):
+    """Perturb one record chunk with its own child stream."""
+    records, seed_seq = task
+    return engine.perturb_chunk(records, np.random.default_rng(seed_seq))
+
+
+def _perturb_counts(engine, task):
+    """Perturb one joint-index chunk and bin it locally.
+
+    Only the ``(|S_U|,)`` count vector crosses the process boundary,
+    which is what makes the counting path scale: per-chunk IPC is
+    independent of the chunk size.
+    """
+    joint, seed_seq = task
+    perturbed = engine.perturb_joint(joint, np.random.default_rng(seed_seq))
+    counts = np.bincount(perturbed, minlength=engine.schema.joint_size)
+    return counts, joint.shape[0]
+
+
+def _pool_records_task(task):
+    return _perturb_records(_WORKER_ENGINE, task)
+
+
+def _pool_counts_task(task):
+    return _perturb_counts(_WORKER_ENGINE, task)
+
+_POOL_TASKS = {_perturb_records: _pool_records_task, _perturb_counts: _pool_counts_task}
+
+
+class PerturbationPipeline:
+    """Streaming, optionally multi-process, perturbation executor.
+
+    Parameters
+    ----------
+    engine:
+        Any engine with ``schema``, ``perturb_chunk`` and
+        ``perturb_joint`` (all engines in :mod:`repro.core.engine`).
+    chunk_size:
+        Upper bound on records processed per batch.
+    workers:
+        Number of worker processes; ``1`` runs in-process.
+    seeding:
+        ``"auto"`` (default), ``"sequential"`` or ``"spawn"`` -- see the
+        module docstring for the determinism contract.
+    """
+
+    def __init__(
+        self,
+        engine,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        workers: int = 1,
+        seeding: str = "auto",
+    ):
+        for attr in ("schema", "perturb_chunk", "perturb_joint"):
+            if not hasattr(engine, attr):
+                raise ExperimentError(
+                    f"engine {type(engine).__name__} does not implement the chunk "
+                    f"protocol (missing {attr!r})"
+                )
+        if chunk_size < 1:
+            raise ExperimentError(f"chunk_size must be >= 1, got {chunk_size}")
+        if workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {workers}")
+        if seeding not in _SEEDINGS:
+            raise ExperimentError(f"seeding must be one of {_SEEDINGS}, got {seeding!r}")
+        if seeding == "sequential" and workers > 1:
+            raise ExperimentError(
+                "sequential seeding threads one RNG stream through the chunks and "
+                "cannot be split across workers; use seeding='spawn' (or workers=1)"
+            )
+        self.engine = engine
+        self.schema = engine.schema
+        self.chunk_size = int(chunk_size)
+        self.workers = int(workers)
+        self.seeding = seeding
+
+    def _effective_seeding(self) -> str:
+        if self.seeding != "auto":
+            return self.seeding
+        return "sequential" if self.workers == 1 else "spawn"
+
+    # ------------------------------------------------------------------
+    # execution strategies
+    # ------------------------------------------------------------------
+    def _map_sequential_stream(self, chunks, seed, transform):
+        """Thread one generator through the chunks, in order."""
+        rng = as_generator(seed)
+        for chunk in chunks:
+            yield transform(chunk, rng)
+
+    def _spawn_tasks(self, chunks, seed):
+        """Pair each chunk with its incrementally spawned child sequence."""
+        root = as_seed_sequence(seed)
+        for chunk in chunks:
+            yield chunk, root.spawn(1)[0]
+
+    def _map_spawn(self, work, tasks):
+        """Run spawn-seeded tasks, in order, serially or on a pool.
+
+        The engine is handed to each pool worker once at startup; tasks
+        carry only (chunk, seed).  The pool path keeps at most
+        ``4 * workers`` chunks in flight, so streaming sources larger
+        than memory are never drained eagerly.
+        """
+        if self.workers == 1:
+            for task in tasks:
+                yield work(self.engine, task)
+            return
+        pool = multiprocessing.Pool(
+            self.workers, initializer=_init_worker, initargs=(self.engine,)
+        )
+        try:
+            pending = deque()
+            pool_task = _POOL_TASKS[work]
+            for task in tasks:
+                pending.append(pool.apply_async(pool_task, (task,)))
+                while len(pending) >= 4 * self.workers:
+                    yield pending.popleft().get()
+            while pending:
+                yield pending.popleft().get()
+        finally:
+            pool.terminate()
+            pool.join()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def perturb_stream(self, source, seed=None):
+        """Yield perturbed ``(m, M)`` record arrays, chunk by chunk.
+
+        The fully streaming path: one chunk of input and one chunk of
+        output are alive at a time.  ``source`` may be a dataset, a
+        record array, or an iterable of either (e.g. a CSV chunk
+        reader).
+        """
+        chunks = iter_record_chunks(source, self.schema, self.chunk_size)
+        if self._effective_seeding() == "sequential":
+            yield from self._map_sequential_stream(
+                chunks, seed, lambda records, rng: self.engine.perturb_chunk(records, rng)
+            )
+        else:
+            yield from self._map_spawn(
+                _perturb_records, self._spawn_tasks(chunks, seed)
+            )
+
+    def perturb(self, dataset: CategoricalDataset, seed=None) -> CategoricalDataset:
+        """Chunked counterpart of ``engine.perturb`` (same signature).
+
+        With ``workers=1`` (auto seeding) the result is bit-identical to
+        ``engine.perturb(dataset, seed)`` for any chunk size.
+        """
+        if dataset.schema != self.schema:
+            raise DataError("dataset schema does not match the perturbation schema")
+        parts = list(self.perturb_stream(dataset, seed=seed))
+        if not parts:
+            return CategoricalDataset(self.schema, dataset.records)
+        return CategoricalDataset(self.schema, np.concatenate(parts, axis=0))
+
+    def accumulate(self, source, seed=None) -> JointCountAccumulator:
+        """Perturb a stream and fold it straight into joint counts.
+
+        Never materialises perturbed records beyond one chunk; with
+        ``workers > 1`` each worker perturbs and bins its chunks in
+        joint-index space and only count vectors return to the parent.
+        """
+        accumulator = JointCountAccumulator(self.schema)
+        chunks = (
+            self.schema.encode(records)
+            for records in iter_record_chunks(source, self.schema, self.chunk_size)
+        )
+        if self._effective_seeding() == "sequential":
+            results = self._map_sequential_stream(
+                chunks,
+                seed,
+                lambda joint, rng: (
+                    np.bincount(
+                        self.engine.perturb_joint(joint, rng),
+                        minlength=self.schema.joint_size,
+                    ),
+                    joint.shape[0],
+                ),
+            )
+        else:
+            results = self._map_spawn(
+                _perturb_counts, self._spawn_tasks(chunks, seed)
+            )
+        for counts, n_records in results:
+            accumulator.update_counts(counts, n_records)
+        return accumulator

@@ -19,12 +19,13 @@ from repro.stats.linalg import (
     markov_violation,
 )
 from repro.stats.poisson_binomial import PoissonBinomial
-from repro.stats.rng import as_generator, spawn_generators
+from repro.stats.rng import as_generator, as_seed_sequence, spawn_generators
 
 __all__ = [
     "PoissonBinomial",
     "UniformOffDiagonalMatrix",
     "as_generator",
+    "as_seed_sequence",
     "condition_number",
     "is_markov_matrix",
     "is_symmetric",

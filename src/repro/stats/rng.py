@@ -30,6 +30,24 @@ def as_generator(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def as_seed_sequence(seed=None) -> np.random.SeedSequence:
+    """Coerce ``seed`` into a :class:`numpy.random.SeedSequence`.
+
+    Seed sequences are the spawnable, picklable seed representation the
+    streaming pipeline ships to worker processes: ``seq.spawn(k)`` is
+    deterministic in the order of calls, so per-chunk child streams are
+    reproducible from one integer even when the number of chunks is not
+    known up front.  A ``Generator`` is accepted by drawing one integer
+    from it (the generator advances; the result is still deterministic
+    for a seeded generator).
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(2**63)))
+    return np.random.SeedSequence(seed)
+
+
 def spawn_generators(seed, count: int) -> list[np.random.Generator]:
     """Create ``count`` independent child generators from ``seed``.
 

@@ -1,0 +1,361 @@
+"""Tests for the streaming/multi-worker pipeline (repro.pipeline).
+
+The load-bearing guarantees:
+
+* chunked execution with ``workers=1`` is bit-identical to the one-shot
+  ``engine.perturb()`` for the same seed, for any chunk size;
+* accumulated counts are invariant to the chunk size at ``workers=1``
+  and invariant to the worker count under spawn seeding;
+* the accumulated-count support estimator matches the dataset-backed
+  estimator exactly, so streaming mining equals one-shot mining.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    GammaDiagonalPerturbation,
+    MatrixPerturbation,
+    RandomizedGammaDiagonalPerturbation,
+)
+from repro.core.gamma_diagonal import GammaDiagonalMatrix
+from repro.data.census import generate_census
+from repro.data.dataset import CategoricalDataset
+from repro.data.io import iter_csv_chunks, save_csv_chunks
+from repro.exceptions import DataError, ExperimentError, MiningError
+from repro.mining.counting import GammaDiagonalSupportEstimator
+from repro.mining.itemsets import all_items
+from repro.mining.reconstructing import DetGDMiner
+from repro.pipeline import (
+    AccumulatedSupportEstimator,
+    JointCountAccumulator,
+    PerturbationPipeline,
+    iter_record_chunks,
+    mine_stream,
+    reconstruct_stream,
+    stream_perturbed_counts,
+)
+
+GAMMA = 19.0
+
+
+@pytest.fixture(scope="module")
+def census():
+    return generate_census(8_000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def det_engine(census):
+    return GammaDiagonalPerturbation(census.schema, GAMMA)
+
+
+# ----------------------------------------------------------------------
+# chunk iteration
+# ----------------------------------------------------------------------
+class TestChunkIteration:
+    def test_dataset_is_resliced(self, census):
+        chunks = list(iter_record_chunks(census, census.schema, 3_000))
+        assert [c.shape[0] for c in chunks] == [3_000, 3_000, 2_000]
+        assert np.array_equal(np.concatenate(chunks), census.records)
+
+    def test_iterable_items_are_resliced_not_coalesced(self, census):
+        parts = [census.records[:100], census.records[100:150]]
+        chunks = list(iter_record_chunks(parts, census.schema, 70))
+        assert [c.shape[0] for c in chunks] == [70, 30, 50]
+
+    def test_schema_mismatch_rejected(self, census, tiny_dataset):
+        with pytest.raises(DataError):
+            list(iter_record_chunks(tiny_dataset, census.schema, 100))
+
+    def test_bad_shape_rejected(self, census):
+        with pytest.raises(DataError):
+            list(iter_record_chunks(np.zeros((5, 99), dtype=np.int64), census.schema, 10))
+
+    def test_bad_chunk_size_rejected(self, census):
+        with pytest.raises(DataError):
+            list(iter_record_chunks(census, census.schema, 0))
+
+    def test_dataset_iter_chunks(self, census):
+        chunks = list(census.iter_chunks(3_000))
+        assert all(isinstance(c, CategoricalDataset) for c in chunks)
+        assert sum(c.n_records for c in chunks) == census.n_records
+        assert np.array_equal(
+            np.concatenate([c.records for c in chunks]), census.records
+        )
+
+    def test_csv_chunk_roundtrip(self, census, tmp_path):
+        path = tmp_path / "stream.csv"
+        written = save_csv_chunks(census.schema, census.iter_chunks(1_500), path)
+        assert written == census.n_records
+        back = list(iter_csv_chunks(census.schema, path, 2_000))
+        assert [c.n_records for c in back] == [2_000, 2_000, 2_000, 2_000]
+        assert np.array_equal(
+            np.concatenate([c.records for c in back]), census.records
+        )
+
+    def test_perturb_stream_to_csv_roundtrip(self, census, det_engine, tmp_path):
+        """Pipeline output streams straight to disk and back."""
+        path = tmp_path / "perturbed.csv"
+        pipeline = PerturbationPipeline(det_engine, chunk_size=2_000)
+        written = save_csv_chunks(
+            census.schema, pipeline.perturb_stream(census, seed=42), path
+        )
+        assert written == census.n_records
+        back = np.concatenate(
+            [c.records for c in iter_csv_chunks(census.schema, path, 3_000)]
+        )
+        assert np.array_equal(back, det_engine.perturb(census, seed=42).records)
+
+    def test_csv_chunks_header_validated(self, census, tiny_schema, tmp_path):
+        path = tmp_path / "stream.csv"
+        save_csv_chunks(census.schema, census.iter_chunks(4_000), path)
+        with pytest.raises(DataError):
+            next(iter_csv_chunks(tiny_schema, path, 100))
+
+
+# ----------------------------------------------------------------------
+# accumulator
+# ----------------------------------------------------------------------
+class TestAccumulator:
+    def test_matches_dataset_counts(self, census):
+        acc = JointCountAccumulator(census.schema)
+        for chunk in census.iter_chunks(1_000):
+            acc.update(chunk)
+        assert acc.n_records == census.n_records
+        assert np.array_equal(acc.counts, census.joint_counts())
+
+    def test_accepts_records_and_joint_indices(self, census):
+        by_records = JointCountAccumulator(census.schema).update(census.records)
+        by_joint = JointCountAccumulator(census.schema).update(
+            census.joint_indices()
+        )
+        assert np.array_equal(by_records.counts, by_joint.counts)
+
+    def test_subset_counts_match_dataset(self, census):
+        acc = JointCountAccumulator(census.schema).update(census)
+        for positions in [(0,), (2, 4), (5, 1), (0, 1, 3)]:
+            assert np.array_equal(
+                acc.subset_counts(positions), census.subset_counts(positions)
+            )
+
+    def test_merge(self, census):
+        left = JointCountAccumulator(census.schema).update(census.records[:3_000])
+        right = JointCountAccumulator(census.schema).update(census.records[3_000:])
+        assert np.array_equal(left.merge(right).counts, census.joint_counts())
+        assert left.n_records == census.n_records
+
+    def test_out_of_range_rejected(self, census):
+        acc = JointCountAccumulator(census.schema)
+        with pytest.raises(DataError):
+            acc.update_joint(np.array([census.schema.joint_size]))
+
+    def test_fractions_empty_stream(self, census):
+        acc = JointCountAccumulator(census.schema)
+        assert acc.fractions().sum() == 0.0
+
+
+# ----------------------------------------------------------------------
+# executor determinism contract
+# ----------------------------------------------------------------------
+class TestPipelineDeterminism:
+    @pytest.mark.parametrize("chunk_size", [100, 1_024, 7_777, 100_000])
+    def test_workers1_bit_identical_to_one_shot(self, census, det_engine, chunk_size):
+        pipeline = PerturbationPipeline(det_engine, chunk_size=chunk_size)
+        assert pipeline.perturb(census, seed=42) == det_engine.perturb(census, seed=42)
+
+    def test_workers1_bit_identical_for_ran_gd(self, census):
+        engine = RandomizedGammaDiagonalPerturbation(
+            census.schema, GAMMA, relative_alpha=0.5
+        )
+        pipeline = PerturbationPipeline(engine, chunk_size=900)
+        assert pipeline.perturb(census, seed=3) == engine.perturb(census, seed=3)
+
+    def test_workers1_bit_identical_for_sequential_sampler(self, survey_dataset):
+        engine = GammaDiagonalPerturbation(
+            survey_dataset.schema, 8.0, method="sequential"
+        )
+        small = CategoricalDataset(survey_dataset.schema, survey_dataset.records[:600])
+        pipeline = PerturbationPipeline(engine, chunk_size=250)
+        assert pipeline.perturb(small, seed=5) == engine.perturb(small, seed=5)
+
+    def test_workers1_bit_identical_for_dense_sampler(self, tiny_dataset):
+        dense = GammaDiagonalMatrix(tiny_dataset.schema.joint_size, 5.0).to_dense()
+        engine = MatrixPerturbation(tiny_dataset.schema, dense)
+        pipeline = PerturbationPipeline(engine, chunk_size=3)
+        assert pipeline.perturb(tiny_dataset, seed=6) == engine.perturb(
+            tiny_dataset, seed=6
+        )
+
+    @pytest.mark.parametrize("chunk_size", [512, 2_048, 100_000])
+    def test_accumulated_counts_invariant_to_chunk_size(
+        self, census, det_engine, chunk_size
+    ):
+        reference = det_engine.perturb(census, seed=42).joint_counts()
+        pipeline = PerturbationPipeline(det_engine, chunk_size=chunk_size)
+        acc = pipeline.accumulate(census, seed=42)
+        assert acc.n_records == census.n_records
+        assert np.array_equal(acc.counts, reference)
+
+    def test_spawn_totals_invariant_across_worker_counts(self, census, det_engine):
+        counts = [
+            PerturbationPipeline(
+                det_engine, chunk_size=2_048, workers=workers, seeding="spawn"
+            )
+            .accumulate(census, seed=5)
+            .counts
+            for workers in (1, 2, 3)
+        ]
+        assert np.array_equal(counts[0], counts[1])
+        assert np.array_equal(counts[1], counts[2])
+
+    def test_spawn_perturb_invariant_across_worker_counts(self, census, det_engine):
+        serial = PerturbationPipeline(
+            det_engine, chunk_size=2_048, workers=1, seeding="spawn"
+        ).perturb(census, seed=5)
+        pooled = PerturbationPipeline(
+            det_engine, chunk_size=2_048, workers=2
+        ).perturb(census, seed=5)
+        assert serial == pooled
+
+    def test_spawn_reproducible_for_same_seed(self, census, det_engine):
+        pipeline = PerturbationPipeline(det_engine, chunk_size=2_048, workers=2)
+        assert pipeline.perturb(census, seed=5) == pipeline.perturb(census, seed=5)
+
+    def test_perturb_stream_is_chunked(self, census, det_engine):
+        pipeline = PerturbationPipeline(det_engine, chunk_size=3_000)
+        sizes = [c.shape[0] for c in pipeline.perturb_stream(census, seed=1)]
+        assert sizes == [3_000, 3_000, 2_000]
+
+    def test_empty_dataset(self, det_engine, census):
+        empty = CategoricalDataset(census.schema, census.records[:0])
+        pipeline = PerturbationPipeline(det_engine, chunk_size=100)
+        assert pipeline.perturb(empty, seed=0).n_records == 0
+        assert pipeline.accumulate(empty, seed=0).n_records == 0
+
+    def test_invalid_configuration_rejected(self, det_engine, census):
+        with pytest.raises(ExperimentError):
+            PerturbationPipeline(det_engine, chunk_size=0)
+        with pytest.raises(ExperimentError):
+            PerturbationPipeline(det_engine, workers=0)
+        with pytest.raises(ExperimentError):
+            PerturbationPipeline(det_engine, seeding="nope")
+        with pytest.raises(ExperimentError):
+            PerturbationPipeline(det_engine, workers=2, seeding="sequential")
+        with pytest.raises(ExperimentError):
+            PerturbationPipeline(object())
+
+    def test_schema_mismatch_rejected(self, det_engine, tiny_dataset):
+        pipeline = PerturbationPipeline(det_engine)
+        with pytest.raises(DataError):
+            pipeline.perturb(tiny_dataset, seed=0)
+
+
+# ----------------------------------------------------------------------
+# streaming reconstruction + mining
+# ----------------------------------------------------------------------
+class TestStreamingFrontEnd:
+    def test_estimator_matches_dataset_backed(self, census, det_engine):
+        perturbed = det_engine.perturb(census, seed=9)
+        acc = JointCountAccumulator(census.schema).update(perturbed)
+        streaming = AccumulatedSupportEstimator(acc, GAMMA)
+        direct = GammaDiagonalSupportEstimator(perturbed, GAMMA)
+        items = all_items(census.schema)
+        assert np.allclose(
+            streaming.supports(items), direct.supports(items), atol=1e-12
+        )
+
+    def test_estimator_rejects_empty_stream(self, census):
+        acc = JointCountAccumulator(census.schema)
+        with pytest.raises(MiningError):
+            AccumulatedSupportEstimator(acc, GAMMA).supports(
+                all_items(census.schema)
+            )
+
+    def test_reconstruct_stream_matches_direct_solver(self, census):
+        """The front-end is exactly Eq. 8 applied to the accumulated Y."""
+        from repro.core.reconstruction import reconstruct_counts
+
+        acc = JointCountAccumulator(census.schema)
+        acc.update(
+            GammaDiagonalPerturbation(census.schema, GAMMA).perturb(census, seed=1)
+        )
+        estimate = reconstruct_stream(acc, GAMMA)
+        matrix = GammaDiagonalMatrix(census.schema.joint_size, GAMMA)
+        assert np.allclose(estimate, reconstruct_counts(matrix, acc.counts))
+        # The closed form preserves total mass and inverts exactly:
+        assert estimate.sum() == pytest.approx(census.n_records)
+        assert np.allclose(matrix.matvec(estimate), acc.counts)
+        clipped = reconstruct_stream(acc, GAMMA, clip=True)
+        assert (clipped >= 0).all()
+
+    def test_reconstruct_stream_em_is_nonnegative(self, census):
+        acc = JointCountAccumulator(census.schema)
+        acc.update(
+            GammaDiagonalPerturbation(census.schema, GAMMA).perturb(census, seed=1)
+        )
+        estimate = reconstruct_stream(acc, GAMMA, method="em")
+        assert (estimate >= 0).all()
+        assert estimate.sum() == pytest.approx(census.n_records)
+
+    def test_mine_stream_equals_one_shot_mining(self, census, det_engine):
+        """workers=1 streaming preserves the one-shot mining result."""
+        miner = DetGDMiner(census.schema, GAMMA)
+        one_shot = miner.mine(census, 0.02, seed=4)
+        streamed = mine_stream(
+            census.iter_chunks(1_500),
+            census.schema,
+            GAMMA,
+            0.02,
+            chunk_size=1_500,
+            seed=4,
+        )
+        assert one_shot.by_length.keys() == streamed.by_length.keys()
+        for length, level in one_shot.by_length.items():
+            assert level.keys() == streamed.by_length[length].keys()
+            for itemset, support in level.items():
+                assert streamed.by_length[length][itemset] == pytest.approx(support)
+
+    def test_mine_stream_multiworker_runs(self, census):
+        result = mine_stream(
+            census, census.schema, GAMMA, 0.05, chunk_size=2_048, workers=2, seed=4
+        )
+        assert 1 in result.by_length
+
+    def test_stream_perturbed_counts_convenience(self, census, det_engine):
+        acc = stream_perturbed_counts(census, det_engine, chunk_size=1_024, seed=42)
+        assert np.array_equal(
+            acc.counts, det_engine.perturb(census, seed=42).joint_counts()
+        )
+
+
+# ----------------------------------------------------------------------
+# miner / experiment integration
+# ----------------------------------------------------------------------
+class TestMinerIntegration:
+    def test_chunked_miner_matches_direct_miner(self, census):
+        miner = DetGDMiner(census.schema, GAMMA)
+        direct = miner.mine(census, 0.02, seed=8)
+        chunked = miner.mine(census, 0.02, seed=8, chunk_size=1_000)
+        assert direct.by_length.keys() == chunked.by_length.keys()
+        for length, level in direct.by_length.items():
+            assert level.keys() == chunked.by_length[length].keys()
+
+    def test_run_mechanism_with_pipeline_config(self, census):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_mechanism
+
+        config = ExperimentConfig(workers=2, chunk_size=2_048, n_records=None)
+        run = run_mechanism(census, "DET-GD", config)
+        assert run.mechanism == "DET-GD"
+        assert run.errors is not None
+
+    def test_config_validates_pipeline_knobs(self):
+        from repro.exceptions import ExperimentError
+        from repro.experiments.config import ExperimentConfig
+
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(workers=0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(chunk_size=0)
