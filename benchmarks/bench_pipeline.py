@@ -13,6 +13,9 @@ perturb-and-count paths:
   perturbing and binning its own chunks (only count vectors cross the
   process boundary).
 
+The dataset size honours ``$REPRO_SCALE`` (1e6 records at scale 1), so
+CI can smoke-run the same benchmarks at ``REPRO_SCALE=0.1``.
+
 ``test_multiworker_beats_one_shot`` asserts the headline claim:
 chunked multi-worker perturbation throughput exceeds the single-process
 one-shot path at this scale.
@@ -27,10 +30,11 @@ import pytest
 
 from repro.core.engine import GammaDiagonalPerturbation
 from repro.data.census import generate_census
+from repro.experiments.config import dataset_scale
 from repro.pipeline import PerturbationPipeline
 
-N_RECORDS = 1_000_000
-CHUNK_SIZE = 125_000
+N_RECORDS = int(1_000_000 * dataset_scale())
+CHUNK_SIZE = max(1, N_RECORDS // 8)
 GAMMA = 19.0
 SEED = 7
 
@@ -114,8 +118,11 @@ def test_multiworker_beats_one_shot(engine, records, report):
     # Single-worker streaming is bit-identical to the one-shot path.
     counts_stream, = (_stream_counts(engine, records, 1),)
     assert np.array_equal(counts_stream, counts_one_shot)
-    # Multi-worker chunked throughput must exceed the one-shot path.
-    assert t_multi < t_one_shot, (
-        f"multi-worker pipeline ({t_multi:.3f}s) should beat the one-shot "
-        f"path ({t_one_shot:.3f}s) on {N_RECORDS:,} records"
-    )
+    # Multi-worker chunked throughput must exceed the one-shot path --
+    # an at-scale claim: below full REPRO_SCALE the pool startup cost
+    # dominates the (shrunken) workload, so only report there.
+    if dataset_scale() >= 1.0:
+        assert t_multi < t_one_shot, (
+            f"multi-worker pipeline ({t_multi:.3f}s) should beat the one-shot "
+            f"path ({t_one_shot:.3f}s) on {N_RECORDS:,} records"
+        )

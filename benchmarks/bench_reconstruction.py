@@ -16,7 +16,6 @@ import numpy as np
 import pytest
 
 from repro.core.engine import GammaDiagonalPerturbation
-from repro.core.gamma_diagonal import GammaDiagonalMatrix
 from repro.core.marginal import estimate_subset_supports, marginal_matrix
 from repro.core.reconstruction import reconstruct_counts
 from repro.data.census import generate_census

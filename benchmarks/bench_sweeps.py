@@ -11,7 +11,6 @@ them:
 
 import math
 
-import numpy as np
 from conftest import once
 
 from repro.data.census import generate_census

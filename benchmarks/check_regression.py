@@ -1,0 +1,144 @@
+"""Benchmark-regression gate: compare a run against a committed baseline.
+
+Usage::
+
+    # Gate a fresh pytest-benchmark run (exit 1 on >30% regression):
+    python benchmarks/check_regression.py BENCH_miners.json \
+        --baseline benchmarks/baselines/BENCH_miners.json
+
+    # Refresh the committed baseline from a run:
+    python benchmarks/check_regression.py BENCH_miners.json \
+        --baseline benchmarks/baselines/BENCH_miners.json --update
+
+The run file is raw ``pytest-benchmark --benchmark-json`` output; the
+baseline is a slim, diff-friendly ``{benchmark name: median seconds}``
+map extracted from such a run (plus the environment it was recorded
+on).  A benchmark regresses when its median exceeds the baseline median
+by more than ``--threshold`` (default 0.30, overridable with
+``$BENCH_REGRESSION_THRESHOLD``).  Benchmarks present on only one side
+never fail the gate: new ones are reported as candidates for
+``--update``, vanished ones as warnings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.30
+
+
+def load_run_medians(path: Path) -> dict[str, float]:
+    """``{benchmark name: median seconds}`` from pytest-benchmark JSON."""
+    data = json.loads(path.read_text())
+    benchmarks = data.get("benchmarks", [])
+    if not isinstance(benchmarks, list):
+        raise SystemExit(f"{path}: not a pytest-benchmark JSON file")
+    return {b["name"]: float(b["stats"]["median"]) for b in benchmarks}
+
+
+def load_baseline(path: Path) -> dict[str, float]:
+    """``{benchmark name: median seconds}`` from a slim baseline file."""
+    data = json.loads(path.read_text())
+    medians = data.get("benchmarks")
+    if not isinstance(medians, dict):
+        raise SystemExit(
+            f"{path}: not a baseline file (expected a 'benchmarks' map; "
+            f"regenerate with --update)"
+        )
+    return {name: float(median) for name, median in medians.items()}
+
+
+def write_baseline(path: Path, medians: dict[str, float], source: Path) -> None:
+    """Persist a slim baseline (sorted keys, environment stamp)."""
+    payload = {
+        "meta": {
+            "source": source.name,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "repro_scale": os.environ.get("REPRO_SCALE", "1"),
+        },
+        "benchmarks": dict(sorted(medians.items())),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def compare(
+    run: dict[str, float], baseline: dict[str, float], threshold: float
+) -> tuple[list[str], list[str]]:
+    """Return (regression lines, informational lines)."""
+    regressions, notes = [], []
+    for name in sorted(baseline):
+        if name not in run:
+            notes.append(f"warning: baseline benchmark {name!r} missing from run")
+            continue
+        old, new = baseline[name], run[name]
+        ratio = (new - old) / old if old > 0 else 0.0
+        line = f"{name}: {old:.6f}s -> {new:.6f}s ({ratio:+.1%})"
+        if ratio > threshold:
+            regressions.append(line)
+        else:
+            notes.append(f"ok: {line}")
+    for name in sorted(set(run) - set(baseline)):
+        notes.append(
+            f"note: new benchmark {name!r} not in baseline (run --update)"
+        )
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark medians regress past the baseline."
+    )
+    parser.add_argument("run", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument(
+        "--baseline", type=Path, required=True, help="committed slim baseline"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(
+            os.environ.get("BENCH_REGRESSION_THRESHOLD", DEFAULT_THRESHOLD)
+        ),
+        help="allowed fractional slowdown before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    medians = load_run_medians(args.run)
+    if not medians:
+        print(f"{args.run}: no benchmarks recorded", file=sys.stderr)
+        return 2
+    if args.update:
+        write_baseline(args.baseline, medians, source=args.run)
+        print(f"baseline refreshed: {args.baseline} ({len(medians)} benchmarks)")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    regressions, notes = compare(medians, baseline, args.threshold)
+    for line in notes:
+        print(line)
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nPASS: {len(baseline)} benchmark(s) within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,8 +2,12 @@
 
 Every paper table/figure has a benchmark that (a) times the
 regeneration via pytest-benchmark and (b) prints the regenerated
-series next to the paper's values (run with ``-s`` to see them) and
-writes them under ``benchmarks/results/``.
+series next to the paper's values (run with ``-s`` to see them).
+
+Result files are opt-in: set ``REPRO_KEEP_RESULTS=1`` to persist the
+printed blocks under ``RESULTS_DIR`` (``benchmarks/results/`` by
+default, overridable with ``$REPRO_RESULTS_DIR``; the directory is
+gitignored -- nothing under it should ever be committed).
 
 Dataset sizes default to the paper's (50k CENSUS / 100k HEALTH); set
 ``REPRO_SCALE=0.1`` for a quick smoke pass.
@@ -11,6 +15,7 @@ Dataset sizes default to the paper's (50k CENSUS / 100k HEALTH); set
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -19,7 +24,14 @@ from repro.data.census import CENSUS_N_RECORDS, generate_census
 from repro.data.health import HEALTH_N_RECORDS, generate_health
 from repro.experiments.config import dataset_scale
 
-RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_DIR = Path(
+    os.environ.get("REPRO_RESULTS_DIR", Path(__file__).parent / "results")
+)
+
+
+def keep_results() -> bool:
+    """Whether result files should be written (``REPRO_KEEP_RESULTS=1``)."""
+    return os.environ.get("REPRO_KEEP_RESULTS", "") == "1"
 
 
 @pytest.fixture(scope="session")
@@ -36,12 +48,18 @@ def health():
 
 @pytest.fixture(scope="session")
 def report():
-    """Print a result block and persist it under benchmarks/results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    """Print a result block; persist it only when opted in.
+
+    Writing is gated on ``REPRO_KEEP_RESULTS=1`` so benchmark runs do
+    not scatter ad-hoc artifacts -- CI sets the flag and uploads
+    ``RESULTS_DIR`` wholesale.
+    """
 
     def emit(name: str, text: str) -> None:
         print(f"\n=== {name} ===\n{text}")
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if keep_results():
+            RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+            (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return emit
 

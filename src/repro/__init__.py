@@ -49,20 +49,25 @@ from repro.exceptions import FrappError
 from repro.metrics import evaluate_mining
 from repro.pipeline import (
     AccumulatedSupportEstimator,
+    BitmapAccumulator,
+    BitmapStreamSupportEstimator,
     JointCountAccumulator,
     PerturbationPipeline,
     mine_stream,
     reconstruct_stream,
+    stream_perturbed_bitmaps,
     stream_perturbed_counts,
 )
 from repro.mining import (
     AprioriResult,
+    BitmapSupportCounter,
     CutAndPasteMiner,
     DetGDMiner,
     Itemset,
     MaskMiner,
     NaiveBayesClassifier,
     RanGDMiner,
+    TransactionBitmaps,
     apriori,
     association_rules,
     fpgrowth,
@@ -78,6 +83,9 @@ __all__ = [
     "AdditiveNoisePerturbation",
     "AprioriResult",
     "Attribute",
+    "BitmapAccumulator",
+    "BitmapStreamSupportEstimator",
+    "BitmapSupportCounter",
     "CategoricalDataset",
     "CutAndPasteMiner",
     "CutAndPastePerturbation",
@@ -96,6 +104,7 @@ __all__ = [
     "RandomizedGammaDiagonal",
     "RandomizedGammaDiagonalPerturbation",
     "Schema",
+    "TransactionBitmaps",
     "WarnerRandomizedResponse",
     "__version__",
     "apriori",
@@ -114,5 +123,6 @@ __all__ = [
     "mine_stream",
     "reconstruct_counts",
     "reconstruct_stream",
+    "stream_perturbed_bitmaps",
     "stream_perturbed_counts",
 ]

@@ -158,6 +158,23 @@ class MaskPerturbation:
         weights = 1 << np.arange(k - 1, -1, -1)
         codes = sub @ weights
         observed = np.bincount(codes, minlength=1 << k).astype(float)
+        return self.solve_pattern_counts(observed)
+
+    def solve_pattern_counts(self, observed_counts: np.ndarray) -> np.ndarray:
+        """Solve the tensor-power system for observed pattern counts.
+
+        ``observed_counts`` is the length-``2^k`` perturbed pattern
+        distribution (msb-first codes, as produced by
+        :meth:`estimate_pattern_counts`'s counting pass or by the bitmap
+        kernel's :func:`repro.mining.kernels.pattern_counts`).
+        """
+        observed = np.asarray(observed_counts, dtype=float)
+        size = observed.shape[0]
+        k = int(size).bit_length() - 1
+        if size < 2 or size != (1 << k):
+            raise DataError(
+                f"pattern counts must have a 2^k length >= 2, got {size}"
+            )
         matrix = itemset_matrix(self.p, k)
         return np.linalg.solve(matrix, observed)
 

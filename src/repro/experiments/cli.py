@@ -16,6 +16,7 @@ import argparse
 
 from repro.data.census import census_schema
 from repro.experiments.config import ExperimentConfig, PAPER_GAMMA
+from repro.mining.kernels import COUNT_BACKENDS
 from repro.experiments.figures import (
     figure1,
     figure2,
@@ -51,6 +52,7 @@ def _config_from_args(args) -> ExperimentConfig:
         n_records=args.records,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        count_backend=args.count_backend,
     )
 
 
@@ -153,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="records per pipeline chunk (unset = one-shot when workers=1)",
+    )
+    parser.add_argument(
+        "--count-backend",
+        choices=list(COUNT_BACKENDS),
+        default="bitmap",
+        help="support-counting kernel: packed AND/popcount bitmaps (default) "
+        "or per-subset bincount loops (identical results)",
     )
     return parser
 

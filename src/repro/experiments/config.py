@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.core.privacy import gamma_from_rho
 from repro.exceptions import ExperimentError
+from repro.mining.kernels import COUNT_BACKENDS
 
 #: The paper's privacy requirement and its implied amplification bound.
 PAPER_RHO1 = 0.05
@@ -71,6 +72,11 @@ class ExperimentConfig:
     #: (MASK and C&P always run direct).
     workers: int = 1
     chunk_size: int | None = None
+    #: Support-counting backend for every mining pass: ``"bitmap"``
+    #: (packed AND/popcount kernels, the default) or ``"loops"``
+    #: (per-subset ``bincount``).  Results are identical; see
+    #: :mod:`repro.mining.kernels`.
+    count_backend: str = "bitmap"
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self):
@@ -93,6 +99,11 @@ class ExperimentConfig:
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ExperimentError(
                 f"chunk_size must be >= 1 (or None), got {self.chunk_size}"
+            )
+        if self.count_backend not in COUNT_BACKENDS:
+            raise ExperimentError(
+                f"count_backend must be one of {COUNT_BACKENDS}, "
+                f"got {self.count_backend!r}"
             )
 
     def records_for(self, dataset_default: int) -> int:

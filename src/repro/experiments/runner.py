@@ -46,12 +46,24 @@ def _build_miner(name: str, schema, config: ExperimentConfig):
     key = name.upper()
     if key == "RAN-GD":
         return make_miner(
-            "ran-gd", schema, config.gamma, relative_alpha=config.relative_alpha
+            "ran-gd",
+            schema,
+            config.gamma,
+            relative_alpha=config.relative_alpha,
+            count_backend=config.count_backend,
         )
     if key == "C&P":
-        return make_miner("c&p", schema, config.gamma, max_cut=config.max_cut)
+        return make_miner(
+            "c&p",
+            schema,
+            config.gamma,
+            max_cut=config.max_cut,
+            count_backend=config.count_backend,
+        )
     if key in ("DET-GD", "MASK"):
-        return make_miner(key.lower(), schema, config.gamma)
+        return make_miner(
+            key.lower(), schema, config.gamma, count_backend=config.count_backend
+        )
     raise ExperimentError(f"unknown mechanism {name!r}")
 
 
@@ -64,7 +76,9 @@ def run_mechanism(
 ) -> MechanismRun:
     """Perturb ``dataset`` with one mechanism, mine, and score."""
     if true_result is None:
-        true_result = mine_exact(dataset, config.min_support)
+        true_result = mine_exact(
+            dataset, config.min_support, count_backend=config.count_backend
+        )
     miner = _build_miner(mechanism, dataset.schema, config)
     effective_seed = seed if seed is not None else config.seed
     # Only the gamma-diagonal mechanisms have a chunked/multi-worker
@@ -106,7 +120,9 @@ def run_comparison(
     ``config.seed`` so the comparison is reproducible yet uncorrelated.
     """
     config = config or ExperimentConfig()
-    true_result = mine_exact(dataset, config.min_support)
+    true_result = mine_exact(
+        dataset, config.min_support, count_backend=config.count_backend
+    )
     streams = spawn_generators(config.seed, len(config.mechanisms))
     runs = {}
     for mechanism, stream in zip(config.mechanisms, streams):

@@ -3,7 +3,9 @@
 * :mod:`repro.mining.itemsets` -- categorical items and itemsets;
 * :mod:`repro.mining.apriori` -- the Apriori miner (from scratch);
 * :mod:`repro.mining.counting` -- exact and reconstruction-based
-  support sources;
+  support sources (both backed by a selectable counting backend);
+* :mod:`repro.mining.kernels` -- the bit-packed vectorized
+  support-counting kernels (the ``"bitmap"`` backend);
 * :mod:`repro.mining.reconstructing` -- one driver per mechanism
   (DET-GD / RAN-GD / MASK / C&P), as evaluated in paper Section 7;
 * :mod:`repro.mining.rules` -- association-rule post-processing.
@@ -19,6 +21,11 @@ from repro.mining.counting import (
 )
 from repro.mining.fpgrowth import fpgrowth
 from repro.mining.itemsets import Itemset, all_items
+from repro.mining.kernels import (
+    COUNT_BACKENDS,
+    BitmapSupportCounter,
+    TransactionBitmaps,
+)
 from repro.mining.reconstructing import (
     CutAndPasteMiner,
     DetGDMiner,
@@ -33,6 +40,8 @@ from repro.mining.rules import AssociationRule, association_rules
 __all__ = [
     "AprioriResult",
     "AssociationRule",
+    "BitmapSupportCounter",
+    "COUNT_BACKENDS",
     "CutAndPasteMiner",
     "CutAndPasteSupportEstimator",
     "DetGDMiner",
@@ -43,6 +52,7 @@ __all__ = [
     "MaskSupportEstimator",
     "NaiveBayesClassifier",
     "RanGDMiner",
+    "TransactionBitmaps",
     "all_items",
     "apriori",
     "association_rules",

@@ -11,14 +11,27 @@ at the end of each pass").
 Implementations:
 
 * :class:`ExactSupportCounter` -- true supports on a categorical
-  dataset (groups candidates by attribute subset and shares one
-  ``bincount`` pass per subset).
+  dataset;
 * :class:`GammaDiagonalSupportEstimator` -- DET-GD/RAN-GD: observed
-  perturbed supports pushed through the Eq.-28 closed-form inverse.
+  perturbed supports pushed through the Eq.-28 closed-form inverse;
 * :class:`MaskSupportEstimator` -- MASK: per-candidate tensor-power
-  system over the item bits.
+  system over the item bits;
 * :class:`CutAndPasteSupportEstimator` -- C&P: per-candidate
   partial-support system.
+
+Every *observed*-support side (exact counting, and the counting pass of
+the DET-GD/RAN-GD and MASK estimators) runs on one of two backends,
+selected with ``count_backend``:
+
+* ``"bitmap"`` (default) -- the packed AND/popcount kernels of
+  :mod:`repro.mining.kernels`: whole candidate batches per Apriori
+  level, with the previous level's itemset bitmaps cached;
+* ``"loops"`` -- the original per-subset ``bincount`` passes, kept as a
+  dependency-free fallback and as the equivalence oracle.
+
+The backends produce *identical* integer counts (and therefore
+bit-identical supports); the estimator outputs follow the same
+closed forms either way.
 """
 
 from __future__ import annotations
@@ -27,10 +40,17 @@ import numpy as np
 
 from repro.baselines.cut_and_paste import CutAndPastePerturbation
 from repro.baselines.mask import MaskPerturbation
-from repro.core.marginal import estimate_subset_supports
+from repro.core.marginal import estimate_subset_supports_batch
 from repro.data.dataset import CategoricalDataset
 from repro.data.schema import Schema
 from repro.exceptions import DataError, MiningError
+from repro.mining.kernels import (
+    BitmapSupportCounter,
+    TransactionBitmaps,
+    pattern_counts,
+    validate_backend,
+)
+from repro.mining.kernels.counting import MAX_PATTERN_BITS
 
 
 def supports_from_subset_counts(
@@ -42,7 +62,8 @@ def supports_from_subset_counts(
     subset's sub-domain -- a dataset's ``subset_counts`` for direct
     counting, or a :class:`repro.pipeline.JointCountAccumulator`'s for
     the streaming path.  One lookup per distinct subset is shared by all
-    its itemsets.
+    its itemsets.  This is the ``"loops"`` backend; the ``"bitmap"``
+    backend lives in :mod:`repro.mining.kernels`.
     """
     if n_records == 0:
         raise MiningError("cannot count supports of an empty dataset")
@@ -74,26 +95,48 @@ def reconstruct_gamma_diagonal_supports(
     """Eq.-28 closed-form estimates from observed subset supports.
 
     Shared by the dataset-backed estimator and the streaming
-    accumulated-count estimator; estimates may be negative for rare
-    itemsets.
+    accumulated-count estimators; one vectorized pass over the whole
+    candidate batch (estimates may be negative for rare itemsets).
     """
-    full = schema.joint_size
-    estimates = np.empty(len(itemsets))
-    for i, itemset in enumerate(itemsets):
-        subset = schema.subset_size(itemset.attributes)
-        estimates[i] = estimate_subset_supports(observed[i], gamma, full, subset)
-    return estimates
+    itemsets = list(itemsets)
+    subset_sizes = np.fromiter(
+        (schema.subset_size(itemset.attributes) for itemset in itemsets),
+        dtype=np.int64,
+        count=len(itemsets),
+    )
+    return estimate_subset_supports_batch(
+        observed, gamma, schema.joint_size, subset_sizes
+    )
 
 
 class ExactSupportCounter:
-    """True fractional supports on an unperturbed dataset."""
+    """True fractional supports on an unperturbed dataset.
 
-    def __init__(self, dataset: CategoricalDataset):
+    Parameters
+    ----------
+    dataset:
+        The categorical dataset to count over.
+    count_backend:
+        ``"bitmap"`` (default) counts through the packed AND/popcount
+        kernel, built lazily on first use; ``"loops"`` keeps the
+        per-subset ``bincount`` path.  Both return identical values.
+    """
+
+    def __init__(self, dataset: CategoricalDataset, count_backend: str = "bitmap"):
         self.dataset = dataset
+        self.count_backend = validate_backend(count_backend)
+        self._bitmap_counter: BitmapSupportCounter | None = None
 
     def supports(self, itemsets) -> np.ndarray:
         """Fraction of records supporting each itemset."""
-        return _subset_support_lookup(self.dataset, list(itemsets))
+        itemsets = list(itemsets)
+        if self.count_backend == "bitmap":
+            if self._bitmap_counter is None:
+                self._bitmap_counter = BitmapSupportCounter.from_dataset(
+                    self.dataset
+                )
+            return self._bitmap_counter.supports(itemsets)
+        return _subset_support_lookup(self.dataset, itemsets)
 
 
 class GammaDiagonalSupportEstimator:
@@ -107,25 +150,52 @@ class GammaDiagonalSupportEstimator:
         The amplification bound used at perturbation time.  RAN-GD uses
         the same estimator because ``E[Ã]`` equals the deterministic
         matrix (paper Section 4.2).
+    count_backend:
+        Backend for the *observed*-support counting pass (the Eq.-28
+        inverse is the same closed form either way).
     """
 
-    def __init__(self, perturbed: CategoricalDataset, gamma: float):
+    def __init__(
+        self,
+        perturbed: CategoricalDataset,
+        gamma: float,
+        count_backend: str = "bitmap",
+    ):
         self.perturbed = perturbed
         self.gamma = float(gamma)
+        self._observed = ExactSupportCounter(perturbed, count_backend)
+
+    @property
+    def count_backend(self) -> str:
+        return self._observed.count_backend
 
     def supports(self, itemsets) -> np.ndarray:
         """Eq.-28 closed-form estimates; may be negative for rare sets."""
         itemsets = list(itemsets)
-        observed = _subset_support_lookup(self.perturbed, itemsets)
+        observed = self._observed.supports(itemsets)
         return reconstruct_gamma_diagonal_supports(
             self.perturbed.schema, observed, itemsets, self.gamma
         )
 
 
 class MaskSupportEstimator:
-    """Reconstructed supports from MASK-perturbed boolean data."""
+    """Reconstructed supports from MASK-perturbed boolean data.
 
-    def __init__(self, schema: Schema, perturbed_bits: np.ndarray, mask: MaskPerturbation):
+    With ``count_backend="bitmap"`` the observed pattern distribution of
+    each candidate is computed from packed bit columns (superset
+    popcounts + a Möbius transform, see
+    :func:`repro.mining.kernels.pattern_counts`) instead of re-scanning
+    the ``(N, M_b)`` bit matrix per candidate; the tensor-power solve is
+    shared, so estimates are identical.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        perturbed_bits: np.ndarray,
+        mask: MaskPerturbation,
+        count_backend: str = "bitmap",
+    ):
         perturbed_bits = np.asarray(perturbed_bits)
         if perturbed_bits.ndim != 2 or perturbed_bits.shape[1] != schema.n_boolean:
             raise DataError(
@@ -135,26 +205,52 @@ class MaskSupportEstimator:
         self.schema = schema
         self.perturbed_bits = perturbed_bits
         self.mask = mask
+        self.count_backend = validate_backend(count_backend)
+        self._bitmaps: TransactionBitmaps | None = None
+
+    def _pattern_counts(self, positions) -> np.ndarray:
+        if self._bitmaps is None:
+            self._bitmaps = TransactionBitmaps.from_boolean_matrix(
+                self.schema, self.perturbed_bits
+            )
+        return pattern_counts(self._bitmaps, positions)
 
     def supports(self, itemsets) -> np.ndarray:
         """Tensor-power reconstruction per candidate (paper Section 7)."""
-        estimates = np.empty(len(list(itemsets)))
+        itemsets = list(itemsets)
+        n_records = self.perturbed_bits.shape[0]
+        estimates = np.empty(len(itemsets))
         for i, itemset in enumerate(itemsets):
             positions = itemset.boolean_positions(self.schema)
-            estimates[i] = self.mask.estimate_itemset_support(
-                self.perturbed_bits, positions
-            )
+            if self.count_backend == "bitmap" and len(positions) <= MAX_PATTERN_BITS:
+                if n_records == 0:
+                    raise DataError("empty perturbed database")
+                observed = self._pattern_counts(positions).astype(float)
+                estimates[i] = float(
+                    self.mask.solve_pattern_counts(observed)[-1] / n_records
+                )
+            else:
+                estimates[i] = self.mask.estimate_itemset_support(
+                    self.perturbed_bits, positions
+                )
         return estimates
 
 
 class CutAndPasteSupportEstimator:
-    """Reconstructed supports from C&P-perturbed boolean data."""
+    """Reconstructed supports from C&P-perturbed boolean data.
+
+    The partial-support system consumes per-record set-bit counts over
+    the candidate's columns (not an all-bits AND), so this estimator
+    stays on the loop path; it accepts ``count_backend`` for interface
+    uniformity and ignores it.
+    """
 
     def __init__(
         self,
         schema: Schema,
         perturbed_bits: np.ndarray,
         operator: CutAndPastePerturbation,
+        count_backend: str = "loops",
     ):
         perturbed_bits = np.asarray(perturbed_bits)
         if perturbed_bits.ndim != 2 or perturbed_bits.shape[1] != schema.n_boolean:
@@ -165,6 +261,7 @@ class CutAndPasteSupportEstimator:
         self.schema = schema
         self.perturbed_bits = perturbed_bits
         self.operator = operator
+        self.count_backend = validate_backend(count_backend)
 
     def supports(self, itemsets) -> np.ndarray:
         """Partial-support-system reconstruction per candidate."""

@@ -18,6 +18,7 @@ from repro.data.dataset import CategoricalDataset
 from repro.exceptions import MiningError
 from repro.mining.apriori import AprioriResult
 from repro.mining.itemsets import Itemset
+from repro.mining.kernels import compress_transactions
 
 
 @dataclass
@@ -115,15 +116,9 @@ def fpgrowth(
         max_length = dataset.schema.n_attributes
 
     # Records as item lists; identical records share one weighted entry.
-    weights: dict = defaultdict(int)
-    for joint in dataset.joint_indices():
-        weights[int(joint)] += 1
-    schema = dataset.schema
-    transactions = []
-    for joint, weight in weights.items():
-        row = schema.decode([joint])[0]
-        items = tuple((attr, int(value)) for attr, value in enumerate(row))
-        transactions.append((items, weight))
+    # The compression runs on the vectorized kernel (one np.unique pass
+    # plus a batched decode) rather than a per-record Python loop.
+    transactions = compress_transactions(dataset)
 
     # Same frequency predicate as Apriori (count/n >= min_support), so
     # float rounding at the threshold cannot make the miners disagree.

@@ -1,0 +1,47 @@
+"""Bit-packed vectorized support-counting kernels.
+
+Apriori-style mining is dominated by support counting: every level
+re-scans the dataset once per candidate attribute-subset.  This package
+replaces those scans with MASK-style transaction bitmaps (Rizvi &
+Haritsa, VLDB 2002): each *item* -- an (attribute, category) pair --
+owns one bitmap over the records, packed 64 bits per ``uint64`` word,
+and the support of any itemset is the popcount of the AND of its items'
+bitmaps.  Whole candidate batches are evaluated with vectorized
+AND + popcount, and each Apriori level reuses the previous level's
+itemset bitmaps so a level-``k`` candidate costs a single AND.
+
+* :mod:`repro.mining.kernels.bitmap` -- the packed representation
+  (:class:`TransactionBitmaps`) plus the popcount/packing primitives;
+* :mod:`repro.mining.kernels.counting` -- the batched
+  :class:`BitmapSupportCounter` (an Apriori ``SupportSource``), the
+  MASK pattern-count kernel and the vectorized transaction compressor
+  used by FP-Growth.
+
+Every kernel is *exact*: counts are integers identical to the
+``bincount`` loop path, so the two backends are interchangeable
+(``count_backend={"loops","bitmap"}`` throughout the library).
+"""
+
+from repro.mining.kernels.bitmap import (
+    TransactionBitmaps,
+    pack_bit_rows,
+    popcount_words,
+)
+from repro.mining.kernels.counting import (
+    COUNT_BACKENDS,
+    BitmapSupportCounter,
+    compress_transactions,
+    pattern_counts,
+    validate_backend,
+)
+
+__all__ = [
+    "COUNT_BACKENDS",
+    "BitmapSupportCounter",
+    "TransactionBitmaps",
+    "compress_transactions",
+    "pack_bit_rows",
+    "pattern_counts",
+    "popcount_words",
+    "validate_backend",
+]

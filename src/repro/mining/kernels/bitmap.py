@@ -1,0 +1,224 @@
+"""Packed transaction bitmaps: one bit per record, one row per item.
+
+The representation is *vertical*: where a :class:`CategoricalDataset`
+stores ``(N, M)`` category indices, a :class:`TransactionBitmaps` stores
+``M_b = sum_j |S^j_U|`` rows of ``ceil(N/64)`` ``uint64`` words -- row
+``boolean_offsets[j] + v`` has bit ``i`` set iff record ``i`` takes
+value ``v`` on attribute ``j``.  Support counting then never touches
+records again: the records matching an itemset are the AND of its
+items' rows, and the count is a popcount.
+
+Two properties the counting layer relies on:
+
+* **Zero padding.**  Bits past ``n_records`` in the last word are zero
+  in every row, so they never survive an AND and never contribute to a
+  popcount.
+* **Word-aligned concatenation.**  :meth:`TransactionBitmaps.concatenate`
+  merges per-chunk bitmaps by stacking their words side by side.  Each
+  chunk keeps its own zero tail, so bit positions no longer equal
+  record indices across chunks -- but AND and popcount are oblivious to
+  where the zeros sit, so every supported count is identical to packing
+  the concatenated records in one shot.  That is what lets the
+  streaming pipeline fold chunks into bitmaps without bit-shifting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.schema import Schema
+from repro.exceptions import DataError
+
+#: Bits per packed word.
+WORD_BITS = 64
+
+_WORD_DTYPE = np.uint64
+
+# Fallback popcount for numpy builds without ``np.bitwise_count``
+# (added in numpy 2.0): a 256-entry table applied to the byte view.
+_BYTE_POPCOUNT = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+
+def popcount_words(words: np.ndarray, axis=None) -> np.ndarray:
+    """Number of set bits in an array of packed ``uint64`` words.
+
+    With ``axis=None`` returns the total as a 0-d array; otherwise sums
+    popcounts along ``axis`` (e.g. per candidate row).
+    """
+    words = np.asarray(words, dtype=_WORD_DTYPE)
+    if hasattr(np, "bitwise_count"):
+        per_word = np.bitwise_count(words)
+    else:  # pragma: no cover - exercised only on numpy < 2.0
+        per_word = _BYTE_POPCOUNT[words.view(np.uint8)].reshape(
+            words.shape + (WORD_BITS // 8,)
+        ).sum(axis=-1, dtype=np.uint64)
+    return per_word.sum(axis=axis, dtype=np.int64)
+
+
+def pack_bit_rows(bit_rows: np.ndarray) -> np.ndarray:
+    """Pack ``(R, N)`` 0/1 rows into ``(R, ceil(N/64))`` ``uint64`` words.
+
+    Any nonzero entry counts as a set bit.  The tail of the last word is
+    zero-padded, which keeps AND/popcount exact for any ``N``.
+    """
+    bit_rows = np.asarray(bit_rows)
+    if bit_rows.ndim != 2:
+        raise DataError(f"bit rows must be 2-D (R, N), got shape {bit_rows.shape}")
+    n_rows, n_bits = bit_rows.shape
+    packed = np.packbits(bit_rows, axis=1)
+    n_words = (n_bits + WORD_BITS - 1) // WORD_BITS if n_bits else 0
+    padded = np.zeros((n_rows, n_words * (WORD_BITS // 8)), dtype=np.uint8)
+    padded[:, : packed.shape[1]] = packed
+    return padded.view(_WORD_DTYPE)
+
+
+class TransactionBitmaps:
+    """Per-item packed bitmaps of a categorical record set.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`~repro.data.schema.Schema` fixing the item rows.
+    n_records:
+        How many record bits are meaningful (the rest are zero padding).
+    words:
+        ``(M_b, n_words)`` ``uint64`` array; use the classmethod
+        constructors rather than building this by hand.
+    """
+
+    def __init__(self, schema: Schema, n_records: int, words: np.ndarray):
+        words = np.asarray(words, dtype=_WORD_DTYPE)
+        if words.ndim != 2 or words.shape[0] != schema.n_boolean:
+            raise DataError(
+                f"words must have shape ({schema.n_boolean}, n_words), "
+                f"got {words.shape}"
+            )
+        words.setflags(write=False)
+        self.schema = schema
+        self.n_records = int(n_records)
+        self.words = words
+        # Layout cached as plain lists: row lookups are per-candidate
+        # hot-path work and the schema properties rebuild tuples per call.
+        self._offsets = list(schema.boolean_offsets())
+        self._cards = list(schema.cardinalities)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, schema: Schema, records) -> "TransactionBitmaps":
+        """Pack an ``(N, M)`` category-index array (validated here)."""
+        records = np.asarray(records, dtype=np.int64)
+        if records.ndim != 2 or records.shape[1] != schema.n_attributes:
+            raise DataError(
+                f"records must have shape (N, {schema.n_attributes}), "
+                f"got {records.shape}"
+            )
+        # Out-of-domain values would silently index a neighbouring
+        # attribute's rows (the scatter is offset-based), so reject them
+        # here exactly like CategoricalDataset does.
+        cards = np.asarray(schema.cardinalities, dtype=np.int64)
+        if records.size and (np.any(records < 0) or np.any(records >= cards)):
+            raise DataError("record value out of domain for this schema")
+        n_records = records.shape[0]
+        bit_rows = np.zeros((schema.n_boolean, n_records), dtype=np.uint8)
+        if n_records:
+            offsets = np.asarray(schema.boolean_offsets(), dtype=np.int64)
+            rows = records + offsets  # (N, M) item-row index per cell
+            bit_rows[rows.T, np.arange(n_records)[None, :]] = 1
+        return cls(schema, n_records, pack_bit_rows(bit_rows))
+
+    @classmethod
+    def from_dataset(cls, dataset: CategoricalDataset) -> "TransactionBitmaps":
+        """Pack a dataset (records are already domain-validated)."""
+        return cls.from_records(dataset.schema, dataset.records)
+
+    @classmethod
+    def from_boolean_matrix(cls, schema: Schema, bits) -> "TransactionBitmaps":
+        """Pack an ``(N, M_b)`` boolean matrix (e.g. MASK-perturbed bits).
+
+        Unlike :meth:`from_records` the rows need not be one-hot -- MASK
+        flips bits independently, so perturbed rows generally violate
+        the one-hot structure.  Row ``r`` of the result is the packed
+        column ``r`` of ``bits``.
+        """
+        bits = np.asarray(bits)
+        if bits.ndim != 2 or bits.shape[1] != schema.n_boolean:
+            raise DataError(
+                f"boolean matrix must have shape (N, {schema.n_boolean}), "
+                f"got {bits.shape}"
+            )
+        return cls(schema, bits.shape[0], pack_bit_rows(bits.T))
+
+    @classmethod
+    def concatenate(cls, parts) -> "TransactionBitmaps":
+        """Merge per-chunk bitmaps by word-aligned concatenation.
+
+        Equivalent, for every AND/popcount query, to packing the
+        concatenated record stream in one shot (see the module
+        docstring); used by the pipeline's chunked accumulator.
+        """
+        parts = list(parts)
+        if not parts:
+            raise DataError("need at least one bitmap chunk to concatenate")
+        schema = parts[0].schema
+        for part in parts[1:]:
+            if part.schema != schema:
+                raise DataError("cannot concatenate bitmaps over different schemas")
+        if len(parts) == 1:
+            return parts[0]
+        words = np.concatenate([part.words for part in parts], axis=1)
+        return cls(schema, sum(part.n_records for part in parts), words)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def n_words(self) -> int:
+        """Packed words per item row."""
+        return int(self.words.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the packed words."""
+        return int(self.words.nbytes)
+
+    def item_row(self, attribute: int, value: int) -> int:
+        """Row index of one item's bitmap (``boolean_offsets`` layout)."""
+        if not 0 <= attribute < len(self._offsets):
+            raise DataError(f"attribute position {attribute} out of range")
+        if not 0 <= value < self._cards[attribute]:
+            raise DataError(
+                f"value {value} out of domain for attribute {attribute}"
+            )
+        return self._offsets[attribute] + value
+
+    def itemset_rows(self, itemset) -> list[int]:
+        """Row indices of an itemset's items (domain-validated)."""
+        offsets, cards = self._offsets, self._cards
+        rows = []
+        for attr, value in itemset.items:
+            if not 0 <= attr < len(offsets) or not 0 <= value < cards[attr]:
+                raise DataError(
+                    f"item ({attr}, {value}) out of domain for this schema"
+                )
+            rows.append(offsets[attr] + value)
+        return rows
+
+    def itemset_words(self, itemset) -> np.ndarray:
+        """AND of the itemset's item rows -- its transaction bitmap."""
+        rows = self.itemset_rows(itemset)
+        return np.bitwise_and.reduce(self.words[rows], axis=0)
+
+    def itemset_count(self, itemset) -> int:
+        """Number of records supporting ``itemset`` (exact)."""
+        return int(popcount_words(self.itemset_words(itemset)))
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionBitmaps(n_records={self.n_records}, "
+            f"n_rows={self.words.shape[0]}, n_words={self.n_words})"
+        )

@@ -33,14 +33,26 @@ from repro.mining.counting import (
     GammaDiagonalSupportEstimator,
     MaskSupportEstimator,
 )
+from repro.mining.kernels import validate_backend
 
 
 def mine_exact(
-    dataset: CategoricalDataset, min_support: float, max_length=None
+    dataset: CategoricalDataset,
+    min_support: float,
+    max_length=None,
+    count_backend: str = "bitmap",
 ) -> AprioriResult:
-    """Reference mining on the original (unperturbed) database."""
+    """Reference mining on the original (unperturbed) database.
+
+    ``count_backend`` selects the support-counting kernel
+    (``"bitmap"``, the packed AND/popcount default, or ``"loops"``);
+    results are identical either way.
+    """
     return apriori(
-        ExactSupportCounter(dataset), dataset.schema, min_support, max_length
+        ExactSupportCounter(dataset, count_backend),
+        dataset.schema,
+        min_support,
+        max_length,
     )
 
 
@@ -115,13 +127,25 @@ class _GammaDiagonalMinerBase:
         ``dataset`` may also be a chunk iterable (e.g.
         :func:`repro.data.io.iter_csv_chunks`) when a pipeline option is
         set; the direct path requires a materialised dataset.
+
+        On the pipeline path the ``"bitmap"`` backend is applied only to
+        materialised datasets (packed bitmaps are ~8x smaller than the
+        records, so memory stays bounded by the input); chunk iterables
+        of unknown extent always accumulate the ``O(|S_U|)`` joint-count
+        vector, preserving the larger-than-memory contract.  Use
+        :func:`repro.pipeline.mine_stream` with
+        ``count_backend="bitmap"`` to opt a stream into bitmaps
+        explicitly.
         """
         if workers == 1 and chunk_size is None:
             perturbed = self.perturb(dataset, seed=seed)
-            return GammaDiagonalSupportEstimator(perturbed, self.gamma)
+            return GammaDiagonalSupportEstimator(
+                perturbed, self.gamma, count_backend=self.count_backend
+            )
         from repro.pipeline import (
             DEFAULT_CHUNK_SIZE,
             AccumulatedSupportEstimator,
+            BitmapStreamSupportEstimator,
             PerturbationPipeline,
         )
 
@@ -130,6 +154,12 @@ class _GammaDiagonalMinerBase:
             chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
             workers=workers,
         )
+        if self.count_backend == "bitmap" and isinstance(
+            dataset, CategoricalDataset
+        ):
+            return BitmapStreamSupportEstimator(
+                pipeline.accumulate_bitmaps(dataset, seed=seed), self.gamma
+            )
         return AccumulatedSupportEstimator(
             pipeline.accumulate(dataset, seed=seed), self.gamma
         )
@@ -169,9 +199,10 @@ class DetGDMiner(_GammaDiagonalMinerBase):
 
     name = "DET-GD"
 
-    def __init__(self, schema: Schema, gamma: float):
+    def __init__(self, schema: Schema, gamma: float, count_backend: str = "bitmap"):
         self.schema = schema
         self.gamma = float(gamma)
+        self.count_backend = validate_backend(count_backend)
         self.perturbation = GammaDiagonalPerturbation(schema, gamma)
 
 
@@ -180,9 +211,16 @@ class RanGDMiner(_GammaDiagonalMinerBase):
 
     name = "RAN-GD"
 
-    def __init__(self, schema: Schema, gamma: float, relative_alpha: float = 0.5):
+    def __init__(
+        self,
+        schema: Schema,
+        gamma: float,
+        relative_alpha: float = 0.5,
+        count_backend: str = "bitmap",
+    ):
         self.schema = schema
         self.gamma = float(gamma)
+        self.count_backend = validate_backend(count_backend)
         self.perturbation = RandomizedGammaDiagonalPerturbation(
             schema, gamma, relative_alpha=relative_alpha
         )
@@ -197,9 +235,10 @@ class MaskMiner:
 
     name = "MASK"
 
-    def __init__(self, schema: Schema, gamma: float):
+    def __init__(self, schema: Schema, gamma: float, count_backend: str = "bitmap"):
         self.schema = schema
         self.gamma = float(gamma)
+        self.count_backend = validate_backend(count_backend)
         self.operator = MaskPerturbation.for_gamma(schema, gamma)
 
     @property
@@ -214,7 +253,12 @@ class MaskMiner:
     def build_estimator(self, dataset: CategoricalDataset, seed=None):
         """Perturb and wrap in the MASK tensor-power estimator."""
         perturbed_bits = self.perturb(dataset, seed=seed)
-        return MaskSupportEstimator(self.schema, perturbed_bits, self.operator)
+        return MaskSupportEstimator(
+            self.schema,
+            perturbed_bits,
+            self.operator,
+            count_backend=self.count_backend,
+        )
 
     def mine(
         self, dataset: CategoricalDataset, min_support: float, seed=None, max_length=None
@@ -235,9 +279,18 @@ class CutAndPasteMiner:
 
     name = "C&P"
 
-    def __init__(self, schema: Schema, gamma: float, max_cut: int = 3):
+    def __init__(
+        self,
+        schema: Schema,
+        gamma: float,
+        max_cut: int = 3,
+        count_backend: str = "loops",
+    ):
         self.schema = schema
         self.gamma = float(gamma)
+        # Accepted for interface uniformity; the partial-support system
+        # has no bitmap path (see CutAndPasteSupportEstimator).
+        self.count_backend = validate_backend(count_backend)
         self.operator = CutAndPastePerturbation.for_gamma(schema, gamma, max_cut)
 
     @property
@@ -272,7 +325,9 @@ def make_miner(name: str, schema: Schema, gamma: float, **kwargs):
     """Factory mapping the paper's mechanism names to driver instances.
 
     Accepted names (case-insensitive): ``det-gd``, ``ran-gd``,
-    ``mask``, ``c&p`` (also ``cp`` / ``cut-and-paste``).
+    ``mask``, ``c&p`` (also ``cp`` / ``cut-and-paste``).  All drivers
+    accept ``count_backend`` (``"bitmap"``/``"loops"``) for their
+    observed-support counting pass.
     """
     key = name.lower().replace("_", "-")
     if key == "det-gd":

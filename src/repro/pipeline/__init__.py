@@ -7,8 +7,9 @@ vectors.  This package exploits both facts to turn the one-shot
 
 * :mod:`repro.pipeline.chunking` -- bounded-batch iteration over
   datasets, arrays and chunk streams;
-* :mod:`repro.pipeline.accumulator` -- incremental joint-count
-  accumulation (``O(|S_U|)`` memory, order-independent, mergeable);
+* :mod:`repro.pipeline.accumulator` -- incremental accumulation, as
+  joint counts (``O(|S_U|)`` memory, order-independent, mergeable) or
+  as packed transaction bitmaps for the AND/popcount mining kernel;
 * :mod:`repro.pipeline.executor` -- the chunked
   :class:`PerturbationPipeline` with multi-process fan-out and the
   SeedSequence-based determinism contract (DESIGN.md, "Scaling");
@@ -16,23 +17,28 @@ vectors.  This package exploits both facts to turn the one-shot
   straight from accumulated counts, for datasets larger than memory.
 """
 
-from repro.pipeline.accumulator import JointCountAccumulator
+from repro.pipeline.accumulator import BitmapAccumulator, JointCountAccumulator
 from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE, iter_record_chunks
 from repro.pipeline.executor import PerturbationPipeline
 from repro.pipeline.streaming import (
     AccumulatedSupportEstimator,
+    BitmapStreamSupportEstimator,
     mine_stream,
     reconstruct_stream,
+    stream_perturbed_bitmaps,
     stream_perturbed_counts,
 )
 
 __all__ = [
     "AccumulatedSupportEstimator",
+    "BitmapAccumulator",
+    "BitmapStreamSupportEstimator",
     "DEFAULT_CHUNK_SIZE",
     "JointCountAccumulator",
     "PerturbationPipeline",
     "iter_record_chunks",
     "mine_stream",
     "reconstruct_stream",
+    "stream_perturbed_bitmaps",
     "stream_perturbed_counts",
 ]

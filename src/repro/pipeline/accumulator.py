@@ -1,12 +1,16 @@
-"""Incremental joint-count accumulation.
+"""Incremental accumulation of a perturbed (or exact) record stream.
 
-The miner side of FRAPP never needs the perturbed *records* -- every
-reconstruction formula consumes only the perturbed count vector ``Y``
-over the joint domain (paper Eq. 7/8) or its marginals over attribute
-subsets (Eq. 28).  :class:`JointCountAccumulator` folds perturbed
-chunks into that vector one batch at a time, so the perturb-and-count
-stage of the pipeline runs in ``O(|S_U|)`` memory regardless of the
-dataset size.
+Two accumulators, two memory shapes:
+
+* :class:`JointCountAccumulator` folds chunks into the perturbed count
+  vector ``Y`` over the joint domain (paper Eq. 7/8) -- ``O(|S_U|)``
+  memory regardless of the dataset size, since every reconstruction
+  formula consumes only ``Y`` or its subset marginals (Eq. 28);
+* :class:`BitmapAccumulator` folds chunks into packed per-item
+  transaction bitmaps (:mod:`repro.mining.kernels`), merged by
+  word-aligned concatenation -- ``O(N * M_b / 8)`` memory, but support
+  queries then run on the vectorized AND/popcount kernel, which is the
+  fast path when the stream fits in bitmap form.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ import numpy as np
 from repro.data.dataset import CategoricalDataset
 from repro.data.schema import Schema
 from repro.exceptions import DataError
+from repro.mining.kernels import TransactionBitmaps
 
 
 class JointCountAccumulator:
@@ -120,4 +125,73 @@ class JointCountAccumulator:
         return (
             f"JointCountAccumulator(n_records={self._n_records}, "
             f"joint_size={self.schema.joint_size})"
+        )
+
+
+class BitmapAccumulator:
+    """Running packed transaction bitmaps of a record stream.
+
+    Chunks are packed independently and merged by word-aligned
+    concatenation (each chunk keeps its own zero tail), which makes the
+    fold additive exactly like :class:`JointCountAccumulator`: chunk
+    order and chunk boundaries cannot change any AND/popcount query, so
+    supports match packing the whole stream in one shot bit for bit.
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._parts: list[TransactionBitmaps] = []
+        self._merged: TransactionBitmaps | None = None
+
+    # ------------------------------------------------------------------
+    # folding
+    # ------------------------------------------------------------------
+    def update(self, chunk) -> "BitmapAccumulator":
+        """Fold one chunk: a dataset or an ``(m, M)`` record array."""
+        if isinstance(chunk, CategoricalDataset):
+            if chunk.schema != self.schema:
+                raise DataError("chunk schema does not match the accumulator schema")
+            return self.update_bitmaps(TransactionBitmaps.from_dataset(chunk))
+        return self.update_bitmaps(
+            TransactionBitmaps.from_records(self.schema, chunk)
+        )
+
+    def update_bitmaps(self, bitmaps: TransactionBitmaps) -> "BitmapAccumulator":
+        """Fold an already-packed chunk (what pool workers could send)."""
+        if bitmaps.schema != self.schema:
+            raise DataError("bitmap schema does not match the accumulator schema")
+        self._parts.append(bitmaps)
+        self._merged = None
+        return self
+
+    def merge(self, other: "BitmapAccumulator") -> "BitmapAccumulator":
+        """Fold another accumulator over the same schema into this one."""
+        if other.schema != self.schema:
+            raise DataError("cannot merge accumulators over different schemas")
+        self._parts.extend(other._parts)
+        self._merged = None
+        return self
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        """Total number of records folded so far."""
+        return sum(part.n_records for part in self._parts)
+
+    @property
+    def bitmaps(self) -> TransactionBitmaps:
+        """The merged packed bitmaps (cached until the next fold)."""
+        if not self._parts:
+            raise DataError("cannot merge an empty bitmap accumulator")
+        if self._merged is None:
+            self._merged = TransactionBitmaps.concatenate(self._parts)
+            self._parts = [self._merged]
+        return self._merged
+
+    def __repr__(self) -> str:
+        return (
+            f"BitmapAccumulator(n_records={self.n_records}, "
+            f"n_chunks={len(self._parts)})"
         )

@@ -39,7 +39,8 @@ import numpy as np
 
 from repro.data.dataset import CategoricalDataset
 from repro.exceptions import DataError, ExperimentError
-from repro.pipeline.accumulator import JointCountAccumulator
+from repro.mining.kernels import TransactionBitmaps
+from repro.pipeline.accumulator import BitmapAccumulator, JointCountAccumulator
 from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE, iter_record_chunks
 from repro.stats.rng import as_generator, as_seed_sequence
 
@@ -76,6 +77,18 @@ def _perturb_counts(engine, task):
     return counts, joint.shape[0]
 
 
+def _perturb_bitmaps(engine, task):
+    """Perturb one record chunk and pack it into transaction bitmaps.
+
+    Packing happens worker-side, so only the packed words (~8x smaller
+    than the records) cross the process boundary and the parent's fold
+    is a cheap list append.
+    """
+    records, seed_seq = task
+    perturbed = engine.perturb_chunk(records, np.random.default_rng(seed_seq))
+    return TransactionBitmaps.from_records(engine.schema, perturbed)
+
+
 def _pool_records_task(task):
     return _perturb_records(_WORKER_ENGINE, task)
 
@@ -83,7 +96,16 @@ def _pool_records_task(task):
 def _pool_counts_task(task):
     return _perturb_counts(_WORKER_ENGINE, task)
 
-_POOL_TASKS = {_perturb_records: _pool_records_task, _perturb_counts: _pool_counts_task}
+
+def _pool_bitmaps_task(task):
+    return _perturb_bitmaps(_WORKER_ENGINE, task)
+
+
+_POOL_TASKS = {
+    _perturb_records: _pool_records_task,
+    _perturb_counts: _pool_counts_task,
+    _perturb_bitmaps: _pool_bitmaps_task,
+}
 
 
 class PerturbationPipeline:
@@ -245,4 +267,35 @@ class PerturbationPipeline:
             )
         for counts, n_records in results:
             accumulator.update_counts(counts, n_records)
+        return accumulator
+
+    def accumulate_bitmaps(self, source, seed=None) -> BitmapAccumulator:
+        """Perturb a stream and fold it into packed transaction bitmaps.
+
+        The bitmap-kernel counterpart of :meth:`accumulate`: perturbed
+        chunks are packed (64 records per word per item) and merged by
+        word-aligned concatenation, so the result answers support
+        queries through the vectorized AND/popcount kernel.  With
+        ``workers > 1`` each worker perturbs *and packs* its chunks;
+        only packed words cross the process boundary.  Chunk outputs
+        are identical to :meth:`perturb_stream`, hence the accumulated
+        supports match the materialised :meth:`perturb`-then-count path
+        exactly for the same seed.
+        """
+        accumulator = BitmapAccumulator(self.schema)
+        chunks = iter_record_chunks(source, self.schema, self.chunk_size)
+        if self._effective_seeding() == "sequential":
+            results = self._map_sequential_stream(
+                chunks,
+                seed,
+                lambda records, rng: TransactionBitmaps.from_records(
+                    self.schema, self.engine.perturb_chunk(records, rng)
+                ),
+            )
+        else:
+            results = self._map_spawn(
+                _perturb_bitmaps, self._spawn_tasks(chunks, seed)
+            )
+        for bitmaps in results:
+            accumulator.update_bitmaps(bitmaps)
         return accumulator

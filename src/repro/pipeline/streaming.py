@@ -37,7 +37,8 @@ from repro.mining.counting import (
     reconstruct_gamma_diagonal_supports,
     supports_from_subset_counts,
 )
-from repro.pipeline.accumulator import JointCountAccumulator
+from repro.mining.kernels import BitmapSupportCounter, validate_backend
+from repro.pipeline.accumulator import BitmapAccumulator, JointCountAccumulator
 from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE
 from repro.pipeline.executor import PerturbationPipeline
 
@@ -95,6 +96,42 @@ class AccumulatedSupportEstimator:
         )
 
 
+class BitmapStreamSupportEstimator:
+    """Eq.-28 support estimates from bitmap-accumulated perturbed chunks.
+
+    The kernel-backed sibling of :class:`AccumulatedSupportEstimator`:
+    observed supports come from packed AND/popcount over the accumulated
+    perturbed bitmaps instead of joint-count marginalisation, then go
+    through the same closed-form inverse -- so for identical perturbed
+    records the two estimators return identical floats.  Memory is
+    ``O(N * M_b / 8)`` versus the count vector's ``O(|S_U|)``; prefer
+    this when the joint domain dwarfs the (packed) record stream or when
+    per-level counting speed dominates.
+    """
+
+    def __init__(self, accumulator: BitmapAccumulator, gamma: float):
+        self.accumulator = accumulator
+        self.schema = accumulator.schema
+        self.gamma = float(gamma)
+        self._counter: BitmapSupportCounter | None = None
+
+    def supports(self, itemsets) -> np.ndarray:
+        """Reconstructed fractional supports; may be negative for rare sets."""
+        itemsets = list(itemsets)
+        if self.accumulator.n_records == 0:
+            raise MiningError("cannot estimate supports from an empty stream")
+        # Re-merge on demand: folding more chunks into the accumulator
+        # invalidates its cached merge, so a fresh `bitmaps` object
+        # signals that the counter (and its level cache) is stale.
+        bitmaps = self.accumulator.bitmaps
+        if self._counter is None or self._counter.bitmaps is not bitmaps:
+            self._counter = BitmapSupportCounter(bitmaps)
+        observed = self._counter.supports(itemsets)
+        return reconstruct_gamma_diagonal_supports(
+            self.schema, observed, itemsets, self.gamma
+        )
+
+
 def stream_perturbed_counts(
     source,
     engine,
@@ -107,6 +144,18 @@ def stream_perturbed_counts(
     return pipeline.accumulate(source, seed=seed)
 
 
+def stream_perturbed_bitmaps(
+    source,
+    engine,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 1,
+    seed=None,
+) -> BitmapAccumulator:
+    """Perturb a record stream into accumulated transaction bitmaps."""
+    pipeline = PerturbationPipeline(engine, chunk_size=chunk_size, workers=workers)
+    return pipeline.accumulate_bitmaps(source, seed=seed)
+
+
 def mine_stream(
     source,
     schema: Schema,
@@ -117,20 +166,32 @@ def mine_stream(
     workers: int = 1,
     seed=None,
     max_length=None,
+    count_backend: str = "loops",
 ) -> AprioriResult:
     """Privacy-preserving mining over a chunked record stream.
 
     Runs DET-GD perturbation (or the supplied ``engine``) through the
-    chunked executor, accumulates perturbed joint counts, and mines the
-    accumulated vector with Apriori over Eq.-28 reconstructed supports.
-    Peak memory is one chunk plus the ``(|S_U|,)`` count vector, so
-    ``source`` may be arbitrarily large (e.g.
-    :func:`repro.data.io.iter_csv_chunks`).
+    chunked executor, accumulates the perturbed stream, and mines it
+    with Apriori over Eq.-28 reconstructed supports.
+
+    ``count_backend`` picks the accumulated representation: ``"loops"``
+    (default) folds joint counts -- peak memory is one chunk plus the
+    ``(|S_U|,)`` count vector, so ``source`` may be arbitrarily large
+    (e.g. :func:`repro.data.io.iter_csv_chunks`); ``"bitmap"`` folds
+    packed transaction bitmaps -- ``O(N * M_b / 8)`` memory, with every
+    mining pass answered by the vectorized AND/popcount kernel.  Both
+    backends mine identical itemsets for the same seed.
     """
     if engine is None:
         engine = GammaDiagonalPerturbation(schema, gamma)
-    accumulator = stream_perturbed_counts(
-        source, engine, chunk_size=chunk_size, workers=workers, seed=seed
-    )
-    estimator = AccumulatedSupportEstimator(accumulator, gamma)
+    if validate_backend(count_backend) == "bitmap":
+        bitmap_accumulator = stream_perturbed_bitmaps(
+            source, engine, chunk_size=chunk_size, workers=workers, seed=seed
+        )
+        estimator = BitmapStreamSupportEstimator(bitmap_accumulator, gamma)
+    else:
+        accumulator = stream_perturbed_counts(
+            source, engine, chunk_size=chunk_size, workers=workers, seed=seed
+        )
+        estimator = AccumulatedSupportEstimator(accumulator, gamma)
     return apriori(estimator, schema, min_support, max_length)

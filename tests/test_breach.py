@@ -13,7 +13,6 @@ from repro.core.breach import (
 )
 from repro.core.engine import GammaDiagonalPerturbation
 from repro.core.gamma_diagonal import GammaDiagonalMatrix
-from repro.core.privacy import rho2_from_gamma
 from repro.exceptions import MatrixError, PrivacyError
 
 

@@ -13,7 +13,6 @@ from repro.baselines.cut_and_paste import (
     rho_for_gamma,
     transition_probability,
 )
-from repro.data.census import census_schema
 from repro.exceptions import DataError, MatrixError, PrivacyError
 from repro.stats.linalg import condition_number
 

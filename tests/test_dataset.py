@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.data.dataset import CategoricalDataset
-from repro.data.schema import Attribute, Schema
 from repro.exceptions import DataError
 
 

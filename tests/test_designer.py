@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.designer import MechanismReport, design_mechanism
+from repro.core.designer import design_mechanism
 from repro.core.engine import (
     GammaDiagonalPerturbation,
     RandomizedGammaDiagonalPerturbation,

@@ -9,7 +9,6 @@ from repro.core.engine import (
     RandomizedGammaDiagonalPerturbation,
 )
 from repro.data.dataset import CategoricalDataset
-from repro.data.schema import Attribute, Schema
 from repro.exceptions import DataError, MatrixError
 
 

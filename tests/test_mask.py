@@ -14,7 +14,6 @@ from repro.baselines.mask import (
     mask_p_for_gamma,
 )
 from repro.data.census import census_schema
-from repro.data.health import health_schema
 from repro.exceptions import DataError, MatrixError, PrivacyError
 from repro.stats.linalg import condition_number, is_markov_matrix
 

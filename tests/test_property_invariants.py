@@ -19,7 +19,6 @@ no flaky re-runs.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for repro.mining.reconstructing (mechanism drivers)."""
 
-import numpy as np
 import pytest
 
 from repro.mining.apriori import AprioriResult

@@ -1,7 +1,5 @@
 """Tests for repro.experiments.sweeps."""
 
-import math
-
 import pytest
 
 from repro.data.census import generate_census
