@@ -1,0 +1,29 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+PYTHON ?= python
+
+.PHONY: test lint docstrings docs bench clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check .
+	ruff format --check .
+	$(PYTHON) tools/check_docstrings.py
+
+docstrings:
+	$(PYTHON) tools/check_docstrings.py
+
+# API reference under docs/api (requires the `docs` extra: pip install -e .[docs]).
+# -W error::UserWarning turns pdoc's warnings (broken links, bad docstrings)
+# into build failures, which is exactly what the CI docs job gates on.
+docs:
+	$(PYTHON) -W error::UserWarning -m pdoc repro -o docs/api --docformat numpy
+
+bench:
+	REPRO_SCALE=0.1 $(PYTHON) -m pytest benchmarks/bench_miners.py benchmarks/bench_pipeline.py benchmarks/bench_orchestrator.py -q
+
+clean:
+	rm -rf docs/api .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -23,6 +23,7 @@ setup(
     install_requires=["numpy"],
     extras_require={
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "docs": ["pdoc"],
     },
     entry_points={
         "console_scripts": ["frapp = repro.experiments.cli:main"],

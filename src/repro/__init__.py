@@ -58,6 +58,7 @@ from repro.pipeline import (
     stream_perturbed_bitmaps,
     stream_perturbed_counts,
 )
+from repro.store import ResultStore, cache_key, code_fingerprint
 from repro.mining import (
     AprioriResult,
     BitmapSupportCounter,
@@ -103,13 +104,16 @@ __all__ = [
     "RanGDMiner",
     "RandomizedGammaDiagonal",
     "RandomizedGammaDiagonalPerturbation",
+    "ResultStore",
     "Schema",
     "TransactionBitmaps",
     "WarnerRandomizedResponse",
     "__version__",
     "apriori",
     "association_rules",
+    "cache_key",
     "census_schema",
+    "code_fingerprint",
     "design_mechanism",
     "evaluate_mining",
     "fpgrowth",

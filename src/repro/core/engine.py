@@ -125,6 +125,7 @@ class GammaDiagonalPerturbation:
 
     @property
     def gamma(self) -> float:
+        """The amplification bound of the underlying matrix."""
         return self.matrix.gamma
 
     def perturb(self, dataset: CategoricalDataset, seed=None) -> CategoricalDataset:
@@ -222,10 +223,12 @@ class RandomizedGammaDiagonalPerturbation:
 
     @property
     def gamma(self) -> float:
+        """The amplification bound of the matrix distribution."""
         return self.distribution.gamma
 
     @property
     def alpha(self) -> float:
+        """The randomization half-width of the matrix distribution."""
         return self.distribution.alpha
 
     @property

@@ -90,6 +90,7 @@ class GammaDiagonalMatrix(PerturbationMatrix):
     # -- scalar structure --------------------------------------------------
     @property
     def n(self) -> int:
+        """Domain size (the matrix is ``n x n``)."""
         return self._n
 
     @property
@@ -126,9 +127,11 @@ class GammaDiagonalMatrix(PerturbationMatrix):
 
     # -- PerturbationMatrix interface ---------------------------------------
     def to_dense(self) -> np.ndarray:
+        """Materialise the full ``n x n`` matrix."""
         return self.as_uniform_family().to_dense()
 
     def matvec(self, vector: np.ndarray) -> np.ndarray:
+        """``A @ vector`` in O(n) via the ``a*I + b*J`` structure."""
         return self.as_uniform_family().matvec(vector)
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:

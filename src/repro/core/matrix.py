@@ -73,18 +73,22 @@ class DensePerturbationMatrix(PerturbationMatrix):
 
     @property
     def n(self) -> int:
+        """Domain size (the matrix is ``n x n``)."""
         return int(self._matrix.shape[0])
 
     def to_dense(self) -> np.ndarray:
+        """The stored dense matrix (no copy)."""
         return self._matrix
 
     def matvec(self, vector: np.ndarray) -> np.ndarray:
+        """``A @ vector`` with shape validation."""
         vector = np.asarray(vector, dtype=float)
         if vector.shape != (self.n,):
             raise MatrixError(f"expected shape ({self.n},), got {vector.shape}")
         return self._matrix @ vector
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` by dense LU (the Eq.-8 reconstruction)."""
         rhs = np.asarray(rhs, dtype=float)
         if rhs.shape != (self.n,):
             raise MatrixError(f"expected shape ({self.n},), got {rhs.shape}")
@@ -94,4 +98,5 @@ class DensePerturbationMatrix(PerturbationMatrix):
             raise MatrixError(f"singular perturbation matrix: {exc}") from exc
 
     def condition_number(self) -> float:
+        """2-norm condition number of the stored matrix."""
         return dense_condition_number(self._matrix)

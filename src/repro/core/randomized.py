@@ -85,14 +85,17 @@ class RandomizedGammaDiagonal:
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
+        """Domain size of the matrix family."""
         return self.expected.n
 
     @property
     def gamma(self) -> float:
+        """The amplification bound every realisation satisfies."""
         return self.expected.gamma
 
     @property
     def x(self) -> float:
+        """The expected matrix's off-diagonal entry ``x``."""
         return self.expected.x
 
     def draw_r(self, size: int, seed=None) -> np.ndarray:

@@ -9,11 +9,22 @@
 * :mod:`repro.experiments.reporting` -- plain-text rendering of the
   result series (the repo has no plotting dependency; figures are
   emitted as the number series behind each curve);
+* :mod:`repro.experiments.orchestrator` -- the cell decomposition of
+  the evaluation grid, run DAG-aware against the content-addressed
+  result store (:mod:`repro.store`), optionally across processes;
 * :mod:`repro.experiments.cli` -- the ``frapp`` command /
   ``python -m repro.experiments``.
 """
 
 from repro.experiments.config import ExperimentConfig, PAPER_GAMMA, PAPER_MIN_SUPPORT
+from repro.experiments.orchestrator import (
+    Cell,
+    DatasetSpec,
+    Orchestrator,
+    comparison_cells,
+    exact_cell,
+    mechanism_cell,
+)
 from repro.experiments.figures import (
     figure1,
     figure2,
@@ -30,11 +41,17 @@ from repro.experiments.sweeps import (
 from repro.experiments.tables import table1, table2, table3
 
 __all__ = [
+    "Cell",
+    "DatasetSpec",
     "ExperimentConfig",
     "MechanismRun",
+    "Orchestrator",
     "PAPER_GAMMA",
     "PAPER_MIN_SUPPORT",
     "classification_sweep",
+    "comparison_cells",
+    "exact_cell",
+    "mechanism_cell",
     "figure1",
     "figure2",
     "figure3_posterior",

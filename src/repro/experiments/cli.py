@@ -6,20 +6,32 @@ Regenerates any table or figure of the paper from the command line:
 
    $ frapp table3
    $ frapp fig1 --records 10000 --seed 7
-   $ frapp fig4
-   $ frapp all            # everything (slowest)
+   $ frapp all --jobs 4          # everything, one cell DAG, 4 workers
+   $ frapp all                   # warm: served entirely from the cache
+   $ frapp cache ls              # inspect the result store
+   $ frapp cache gc              # drop entries from older code versions
+
+Experiment results are memoised in a content-addressed store (default
+``~/.cache/frapp``, override with ``--cache-dir`` or
+``$REPRO_CACHE_DIR``); ``--no-cache`` bypasses it, ``--force``
+recomputes and overwrites.  Cache hit/miss accounting goes to stderr
+so stdout stays byte-comparable between runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 from repro.data.census import census_schema
 from repro.experiments.config import ExperimentConfig, PAPER_GAMMA
+from repro.experiments.orchestrator import DatasetSpec, Orchestrator
 from repro.mining.kernels import COUNT_BACKENDS
 from repro.experiments.figures import (
+    comparison_figure_cells,
     figure1,
     figure2,
+    figure3_error_cells,
     figure3_posterior,
     figure3_support_error,
     figure4,
@@ -29,7 +41,14 @@ from repro.experiments.reporting import (
     render_schema_table,
     render_series_table,
 )
-from repro.experiments.tables import PAPER_TABLE3, table1, table2, table3
+from repro.experiments.tables import (
+    PAPER_TABLE3,
+    table1,
+    table2,
+    table3,
+    table3_cells,
+)
+from repro.store import ResultStore, code_fingerprint, default_store_root
 
 _EXPERIMENTS = (
     "table1",
@@ -41,7 +60,11 @@ _EXPERIMENTS = (
     "fig4",
     "sweep-gamma",
     "all",
+    "cache",
 )
+
+#: ``frapp cache`` maintenance verbs.
+_CACHE_OPS = ("ls", "rm", "gc")
 
 
 def _config_from_args(args) -> ExperimentConfig:
@@ -56,6 +79,21 @@ def _config_from_args(args) -> ExperimentConfig:
     )
 
 
+def _store_from_args(args) -> ResultStore | None:
+    if args.no_cache:
+        return None
+    root = args.cache_dir if args.cache_dir else default_store_root()
+    try:
+        return ResultStore(root)
+    except OSError as error:
+        print(f"frapp: cache disabled ({root}: {error})", file=sys.stderr)
+        return None
+
+
+def _orchestrator_from_args(args) -> Orchestrator:
+    return Orchestrator(store=_store_from_args(args), jobs=args.jobs, force=args.force)
+
+
 def _run_table1() -> str:
     return "Table 1: CENSUS categories\n" + render_schema_table(table1())
 
@@ -64,8 +102,8 @@ def _run_table2() -> str:
     return "Table 2: HEALTH categories\n" + render_schema_table(table2())
 
 
-def _run_table3(args) -> str:
-    measured = table3(min_support=args.min_support)
+def _run_table3(args, orchestrator) -> str:
+    measured = table3(min_support=args.min_support, orchestrator=orchestrator)
     series = {}
     for name, counts in measured.items():
         series[f"{name} (measured)"] = counts
@@ -75,17 +113,21 @@ def _run_table3(args) -> str:
     )
 
 
-def _run_fig1(args) -> str:
-    panels = figure1(_config_from_args(args), n_records=args.records)
+def _run_fig1(args, orchestrator) -> str:
+    panels = figure1(
+        _config_from_args(args), n_records=args.records, orchestrator=orchestrator
+    )
     return "Figure 1: CENSUS errors per itemset length\n" + render_figure_panels(panels)
 
 
-def _run_fig2(args) -> str:
-    panels = figure2(_config_from_args(args), n_records=args.records)
+def _run_fig2(args, orchestrator) -> str:
+    panels = figure2(
+        _config_from_args(args), n_records=args.records, orchestrator=orchestrator
+    )
     return "Figure 2: HEALTH errors per itemset length\n" + render_figure_panels(panels)
 
 
-def _run_fig3(args) -> str:
+def _run_fig3(args, orchestrator) -> str:
     n = census_schema().joint_size
     posterior = figure3_posterior(n=n, gamma=args.gamma)
     blocks = [
@@ -94,7 +136,10 @@ def _run_fig3(args) -> str:
     ]
     for dataset, panel in (("CENSUS", "(b)"), ("HEALTH", "(c)")):
         series = figure3_support_error(
-            dataset, config=_config_from_args(args), n_records=args.records
+            dataset,
+            config=_config_from_args(args),
+            n_records=args.records,
+            orchestrator=orchestrator,
         )
         blocks.append(
             f"Figure 3{panel}: {dataset} support error (length 4) vs alpha/(gamma x)"
@@ -103,15 +148,16 @@ def _run_fig3(args) -> str:
     return "\n\n".join(blocks)
 
 
-def _run_sweep_gamma(args) -> str:
-    from repro.data.census import generate_census
+def _run_sweep_gamma(args, orchestrator) -> str:
     from repro.experiments.sweeps import gamma_sweep
 
     records = args.records or 20_000
-    data = generate_census(records)
+    config = ExperimentConfig(seed=args.seed, min_support=args.min_support)
+    spec = DatasetSpec.from_name("CENSUS", n_records=records)
     series = gamma_sweep(
-        data,
-        config=ExperimentConfig(seed=args.seed, min_support=args.min_support),
+        spec if orchestrator is not None else spec.build(),
+        config=config,
+        orchestrator=orchestrator,
     )
     return (
         f"Ablation: DET-GD error at itemset length 4 vs gamma (CENSUS, N={records})\n"
@@ -128,12 +174,78 @@ def _run_fig4(args) -> str:
     return "\n\n".join(blocks)
 
 
+def _all_cells(args) -> list:
+    """The union cell DAG behind ``frapp all``.
+
+    Shared cells (e.g. the exact-mining reference used by Figure 1,
+    Figure 3(b) and Table 3) appear once, and with ``--jobs N`` the
+    whole grid runs concurrently before the artifacts materialise.
+    """
+    config = _config_from_args(args)
+    cells = []
+    cells += comparison_figure_cells("CENSUS", config, args.records)
+    cells += comparison_figure_cells("HEALTH", config, args.records)
+    for dataset in ("CENSUS", "HEALTH"):
+        exact, det, ran = figure3_error_cells(
+            dataset, config=config, n_records=args.records
+        )
+        cells += [exact, det, *ran.values()]
+    cells += table3_cells(args.min_support).values()
+    return cells
+
+
+def _run_cache(args) -> str:
+    """``frapp cache {ls,rm,gc}`` over the configured store."""
+    operands = list(args.extra)
+    op = operands.pop(0) if operands else "ls"
+    if op not in _CACHE_OPS:
+        raise SystemExit(f"frapp cache: unknown operation {op!r} (use ls/rm/gc)")
+    root = args.cache_dir if args.cache_dir else default_store_root()
+    try:
+        store = ResultStore(root)
+    except OSError as error:
+        raise SystemExit(f"frapp cache: cannot open store at {root}: {error}")
+    if op == "ls":
+        # One scan: rebuild the index and render straight from it.
+        manifest = store.refresh_manifest()["entries"]
+        if not manifest:
+            return f"cache at {store.root}: empty"
+        header = f"{'key':<14} {'cell':<42} {'size':>10}"
+        lines = [
+            f"cache at {store.root}: {len(manifest)} entry(ies)",
+            header,
+            "-" * len(header),
+        ]
+        for key, meta in manifest.items():
+            lines.append(
+                f"{key[:12] + '..':<14} "
+                f"{meta.get('cell', '?'):<42} {meta.get('size', 0):>10,}"
+            )
+        return "\n".join(lines)
+    if op == "rm":
+        if not operands:
+            raise SystemExit(
+                "frapp cache rm: give a key prefix, or 'all' to clear everything"
+            )
+        target = operands.pop(0)
+        removed = store.clear() if target == "all" else store.remove(target)
+        return f"cache rm: removed {removed} entry(ies)"
+    removed = store.gc(code_fingerprint())
+    return f"cache gc: removed {removed} stale entry(ies)"
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The ``frapp`` argument parser (one positional experiment + knobs)."""
     parser = argparse.ArgumentParser(
         prog="frapp",
         description="Reproduce the tables and figures of Agrawal & Haritsa (ICDE 2005)",
     )
     parser.add_argument("experiment", choices=_EXPERIMENTS, help="what to regenerate")
+    parser.add_argument(
+        "extra",
+        nargs="*",
+        help="operands for 'cache' (ls, rm <prefix|all>, gc)",
+    )
     parser.add_argument(
         "--records", type=int, default=None, help="dataset size override"
     )
@@ -163,27 +275,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="support-counting kernel: packed AND/popcount bitmaps (default) "
         "or per-subset bincount loops (identical results)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent experiment cells "
+        "(frapp all --jobs 4 runs the whole grid concurrently)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compute everything; do not read or write the result store",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute cells even when cached, overwriting their entries",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-store directory (default $REPRO_CACHE_DIR or ~/.cache/frapp)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
+    """Entry point: regenerate an artefact or run a cache verb."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "cache":
+        print(_run_cache(args))
+        return 0
+    if args.extra:
+        raise SystemExit(
+            f"frapp {args.experiment}: unexpected operand(s) {args.extra!r}"
+        )
+    orchestrator = _orchestrator_from_args(args)
     runners = {
         "table1": lambda: _run_table1(),
         "table2": lambda: _run_table2(),
-        "table3": lambda: _run_table3(args),
-        "fig1": lambda: _run_fig1(args),
-        "fig2": lambda: _run_fig2(args),
-        "fig3": lambda: _run_fig3(args),
+        "table3": lambda: _run_table3(args, orchestrator),
+        "fig1": lambda: _run_fig1(args, orchestrator),
+        "fig2": lambda: _run_fig2(args, orchestrator),
+        "fig3": lambda: _run_fig3(args, orchestrator),
         "fig4": lambda: _run_fig4(args),
-        "sweep-gamma": lambda: _run_sweep_gamma(args),
+        "sweep-gamma": lambda: _run_sweep_gamma(args, orchestrator),
     }
     if args.experiment == "all":
         names = [name for name in runners if name != "sweep-gamma"]
+        # Pre-run the union DAG so independent cells from *different*
+        # artifacts run concurrently; the per-artifact materialisers
+        # below are then pure memo/store hits.
+        orchestrator.run(_all_cells(args))
     else:
         names = [args.experiment]
     outputs = [runners[name]() for name in names]
     print("\n\n".join(outputs))
+    stats = orchestrator.stats
+    if stats.hits or stats.misses:
+        where = "disabled" if orchestrator.store is None else orchestrator.store.root
+        print(f"frapp: {stats.summary()} [store: {where}]", file=sys.stderr)
     return 0
 
 

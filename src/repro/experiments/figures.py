@@ -18,6 +18,13 @@ from repro.experiments.config import (
     PAPER_RHO1,
     dataset_scale,
 )
+from repro.experiments.orchestrator import (
+    DatasetSpec,
+    comparison_cells,
+    exact_cell,
+    int_seed,
+    mechanism_cell,
+)
 from repro.experiments.runner import run_comparison, run_mechanism
 from repro.metrics.conditioning import condition_numbers_by_length
 from repro.mining.reconstructing import mine_exact
@@ -32,8 +39,59 @@ def _dataset(name: str, n_records=None):
     raise ValueError(f"unknown dataset {name!r}")
 
 
-def _comparison_series(dataset_name: str, config: ExperimentConfig, n_records=None):
+def comparison_figure_cells(
+    dataset_name: str, config: ExperimentConfig, n_records=None
+) -> list:
+    """The cell DAG behind one Figure-1/2 style comparison panel set."""
+    spec = DatasetSpec.from_name(dataset_name, n_records)
+    _, cells = comparison_cells(spec, config)
+    return cells
+
+
+def figure3_error_cells(
+    dataset_name: str,
+    alphas=None,
+    config: ExperimentConfig | None = None,
+    n_records=None,
+):
+    """The cells behind Figure 3(b, c): ``(exact, det, {alpha: cell})``."""
+    config = config or ExperimentConfig()
+    if alphas is None:
+        alphas = np.linspace(0.0, 1.0, 6)
+    spec = DatasetSpec.from_name(dataset_name, n_records)
+    exact = exact_cell(
+        spec, config.min_support, env={"count_backend": config.count_backend}
+    )
+    det = mechanism_cell(spec, "DET-GD", config, int_seed(config.seed), exact)
+    ran_cells = {
+        float(rel): mechanism_cell(
+            spec,
+            "RAN-GD",
+            _ran_gd_config(config, float(rel)),
+            int_seed(config.seed),
+            exact,
+        )
+        for rel in alphas
+    }
+    return exact, det, ran_cells
+
+
+def _comparison_series(
+    dataset_name: str, config: ExperimentConfig, n_records=None, orchestrator=None
+):
     """``{metric: {mechanism: {length: value}}}`` for one dataset."""
+    if orchestrator is not None:
+        cells = comparison_figure_cells(dataset_name, config, n_records)
+        results = orchestrator.run(cells)
+        runs = {
+            mechanism: results[cell.name]
+            for mechanism, cell in zip(config.mechanisms, cells[1:])
+        }
+        return {
+            "rho": {name: run["rho"] for name, run in runs.items()},
+            "sigma_minus": {name: run["sigma_minus"] for name, run in runs.items()},
+            "sigma_plus": {name: run["sigma_plus"] for name, run in runs.items()},
+        }
     dataset = _dataset(dataset_name, n_records)
     runs = run_comparison(dataset, config)
     return {
@@ -43,18 +101,24 @@ def _comparison_series(dataset_name: str, config: ExperimentConfig, n_records=No
     }
 
 
-def figure1(config: ExperimentConfig | None = None, n_records=None):
+def figure1(config: ExperimentConfig | None = None, n_records=None, orchestrator=None):
     """Fig. 1: support error and identity errors on CENSUS.
 
     Returns ``{"rho" | "sigma_minus" | "sigma_plus":
-    {mechanism: {length: value}}}`` -- panels (a), (b), (c).
+    {mechanism: {length: value}}}`` -- panels (a), (b), (c).  With an
+    :class:`~repro.experiments.orchestrator.Orchestrator`, each
+    mechanism is a cached cell (same numbers, memoised and parallel).
     """
-    return _comparison_series("CENSUS", config or ExperimentConfig(), n_records)
+    return _comparison_series(
+        "CENSUS", config or ExperimentConfig(), n_records, orchestrator
+    )
 
 
-def figure2(config: ExperimentConfig | None = None, n_records=None):
+def figure2(config: ExperimentConfig | None = None, n_records=None, orchestrator=None):
     """Fig. 2: the same three panels on HEALTH."""
-    return _comparison_series("HEALTH", config or ExperimentConfig(), n_records)
+    return _comparison_series(
+        "HEALTH", config or ExperimentConfig(), n_records, orchestrator
+    )
 
 
 def figure3_posterior(
@@ -81,12 +145,25 @@ def figure3_posterior(
     return series
 
 
+def _ran_gd_config(config: ExperimentConfig, rel: float) -> ExperimentConfig:
+    """The per-alpha RAN-GD configuration of Figure 3(b, c)."""
+    return ExperimentConfig(
+        gamma=config.gamma,
+        min_support=config.min_support,
+        relative_alpha=rel,
+        max_cut=config.max_cut,
+        mechanisms=config.mechanisms,
+        seed=config.seed,
+    )
+
+
 def figure3_support_error(
     dataset_name: str,
     length: int = 4,
     alphas=None,
     config: ExperimentConfig | None = None,
     n_records=None,
+    orchestrator=None,
 ) -> dict[str, dict[float, float]]:
     """Fig. 3(b, c): RAN-GD support error at one itemset length vs alpha.
 
@@ -97,6 +174,17 @@ def figure3_support_error(
     config = config or ExperimentConfig()
     if alphas is None:
         alphas = np.linspace(0.0, 1.0, 6)
+    if orchestrator is not None:
+        exact, det, ran_cells = figure3_error_cells(
+            dataset_name, alphas, config, n_records
+        )
+        results = orchestrator.run([exact, det, *ran_cells.values()])
+        det_rho = results[det.name]["rho"].get(length, float("nan"))
+        series = {"RAN-GD": {}, "DET-GD": {}}
+        for rel, cell in ran_cells.items():
+            series["RAN-GD"][rel] = results[cell.name]["rho"].get(length, float("nan"))
+            series["DET-GD"][rel] = det_rho
+        return series
     dataset = _dataset(dataset_name, n_records)
     true_result = mine_exact(dataset, config.min_support)
     det = run_mechanism(dataset, "DET-GD", config, true_result=true_result)
@@ -104,15 +192,9 @@ def figure3_support_error(
     series = {"RAN-GD": {}, "DET-GD": {}}
     for rel in alphas:
         rel = float(rel)
-        ran_config = ExperimentConfig(
-            gamma=config.gamma,
-            min_support=config.min_support,
-            relative_alpha=rel,
-            max_cut=config.max_cut,
-            mechanisms=config.mechanisms,
-            seed=config.seed,
+        run = run_mechanism(
+            dataset, "RAN-GD", _ran_gd_config(config, rel), true_result=true_result
         )
-        run = run_mechanism(dataset, "RAN-GD", ran_config, true_result=true_result)
         series["RAN-GD"][rel] = run.errors.rho.get(length, float("nan"))
         series["DET-GD"][rel] = det_rho
     return series

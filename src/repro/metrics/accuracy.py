@@ -73,6 +73,7 @@ class MiningErrors:
     sigma_minus: dict[int, float] = field(default_factory=dict)
 
     def lengths(self) -> list[int]:
+        """Itemset lengths with recorded errors, ascending."""
         return sorted(self.rho)
 
 

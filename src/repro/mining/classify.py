@@ -58,6 +58,7 @@ class NaiveBayesClassifier:
     # ------------------------------------------------------------------
     @property
     def n_classes(self) -> int:
+        """Cardinality of the class attribute."""
         return self.schema.cardinalities[self.class_attribute]
 
     @property

@@ -167,6 +167,7 @@ class GammaDiagonalSupportEstimator:
 
     @property
     def count_backend(self) -> str:
+        """The counting kernel used for the observed supports."""
         return self._observed.count_backend
 
     def supports(self, itemsets) -> np.ndarray:

@@ -227,6 +227,7 @@ class RanGDMiner(_GammaDiagonalMinerBase):
 
     @property
     def alpha(self) -> float:
+        """The randomization half-width of the RAN-GD family."""
         return self.perturbation.alpha
 
 
@@ -263,6 +264,7 @@ class MaskMiner:
     def mine(
         self, dataset: CategoricalDataset, min_support: float, seed=None, max_length=None
     ) -> AprioriResult:
+        """Perturb, then Apriori-mine over reconstructed supports."""
         estimator = self.build_estimator(dataset, seed=seed)
         return apriori(estimator, self.schema, min_support, max_length)
 
@@ -310,6 +312,7 @@ class CutAndPasteMiner:
     def mine(
         self, dataset: CategoricalDataset, min_support: float, seed=None, max_length=None
     ) -> AprioriResult:
+        """Perturb, then Apriori-mine over reconstructed supports."""
         estimator = self.build_estimator(dataset, seed=seed)
         return apriori(estimator, self.schema, min_support, max_length)
 

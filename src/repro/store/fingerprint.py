@@ -1,0 +1,40 @@
+"""Code fingerprinting for cache invalidation.
+
+Cached cells must never survive a change to the library that produced
+them, so every cache key embeds a fingerprint of the :mod:`repro`
+package source: the SHA-256 over the sorted ``(relative path, bytes)``
+stream of every ``*.py`` file under the package root.  Any edit to any
+module -- mechanism math, kernels, experiment drivers -- changes the
+fingerprint and therefore invalidates every existing entry (``frapp
+cache gc`` reclaims them).
+
+This is deliberately coarse: a docstring edit also invalidates the
+cache.  Coarse-and-correct beats clever-and-stale for a result store
+whose entries take minutes, not hours, to rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from pathlib import Path
+
+
+def package_source_files(package: str = "repro") -> list[Path]:
+    """Every ``*.py`` file of an importable package, sorted by path."""
+    module = importlib.import_module(package)
+    root = Path(module.__file__).resolve().parent
+    return sorted(root.rglob("*.py"))
+
+
+def code_fingerprint(package: str = "repro") -> str:
+    """SHA-256 fingerprint of a package's complete Python source."""
+    module = importlib.import_module(package)
+    root = Path(module.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in package_source_files(package):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()

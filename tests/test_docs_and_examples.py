@@ -20,6 +20,8 @@ DOCTEST_MODULES = [
     "repro.core.gamma_diagonal",
     "repro.data.schema",
     "repro.mining.itemsets",
+    "repro.store.keys",
+    "repro.experiments.orchestrator",
 ]
 
 
@@ -57,6 +59,41 @@ def test_example_runs(script):
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "examples must narrate their output"
+
+
+def test_docstring_coverage_gate():
+    """The lint-job gate: every public definition carries a docstring."""
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_docstrings.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stdout[-2000:]
+
+
+def test_pdoc_builds_cleanly(tmp_path):
+    """The docs job's build, warnings-as-errors (skipped without pdoc)."""
+    pytest.importorskip("pdoc")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-W",
+            "error::UserWarning",
+            "-m",
+            "pdoc",
+            "repro",
+            "-o",
+            str(tmp_path / "api"),
+            "--docformat",
+            "numpy",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert (tmp_path / "api" / "repro.html").is_file()
 
 
 class TestRepoDocuments:

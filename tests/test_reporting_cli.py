@@ -94,3 +94,64 @@ class TestCli:
         assert main(["fig3", "--records", "3000", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "Figure 3(a)" in out and "rho2_minus" in out
+
+
+class TestCliCache:
+    @pytest.fixture(autouse=True)
+    def cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        return tmp_path / "cache"
+
+    def test_cold_then_warm_byte_identical(self, capsys):
+        argv = ["fig1", "--records", "3000", "--seed", "1"]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "0 hit(s)" in cold.err and "4 mechanism run(s)" in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out, "warm run must be byte-identical"
+        assert "0 computed (0 mechanism run(s))" in warm.err
+
+    def test_no_cache_bypasses_store(self, capsys, cache_dir):
+        argv = ["table3", "--no-cache"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "store: disabled" in err
+        assert not (cache_dir / "objects").exists()
+
+    def test_force_recomputes(self, capsys):
+        argv = ["table3"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--force"]) == 0
+        assert "0 hit(s), 2 computed" in capsys.readouterr().err
+
+    def test_cache_ls_rm_gc(self, capsys):
+        assert main(["cache", "ls"]) == 0
+        assert "empty" in capsys.readouterr().out
+        assert main(["table3"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "exact:CENSUS" in out and "exact:HEALTH" in out
+        assert main(["cache", "gc"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        assert main(["cache", "rm", "all"]) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+    def test_cache_rm_needs_operand(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "rm"])
+
+    def test_cache_unknown_op(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "frobnicate"])
+
+    def test_stray_operands_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig4", "stray"])
+
+    def test_jobs_flag_parses(self, capsys):
+        assert main(["table3", "--jobs", "2"]) == 0
+        assert "2 computed" in capsys.readouterr().err

@@ -1,0 +1,195 @@
+"""Tests for repro.store (keys, fingerprint, ResultStore durability)."""
+
+import json
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.store import (
+    ResultStore,
+    cache_key,
+    canonical_json,
+    code_fingerprint,
+    default_store_root,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_tuples_and_lists_coincide(self):
+        assert canonical_json({"x": (1, 2)}) == canonical_json({"x": [1, 2]})
+
+    def test_int_float_distinct(self):
+        assert canonical_json({"g": 19}) != canonical_json({"g": 19.0})
+
+    def test_rejects_unkeyable(self):
+        with pytest.raises(ExperimentError):
+            canonical_json({"x": object()})
+        with pytest.raises(ExperimentError):
+            canonical_json({"x": float("nan")})
+        with pytest.raises(ExperimentError):
+            canonical_json({1: "non-string key"})
+
+
+class TestCacheKey:
+    def test_stable_and_sensitive(self):
+        base = {"mechanism": "DET-GD", "seed": 1, "gamma": 19.0}
+        key = cache_key(base, "fp")
+        assert key == cache_key(dict(reversed(list(base.items()))), "fp")
+        assert key != cache_key(dict(base, seed=2), "fp")
+        assert key != cache_key(dict(base, gamma=9.0), "fp")
+        assert key != cache_key(base, "other-fingerprint")
+
+    def test_key_shape(self):
+        key = cache_key({"a": 1}, "fp")
+        assert len(key) == 64 and set(key) <= set("0123456789abcdef")
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_default_root_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cc"))
+        assert default_store_root() == tmp_path / "cc"
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestResultStore:
+    def test_roundtrip_payload_and_arrays(self, store):
+        store.put(
+            "k1",
+            {"rho": {"1": 2.5}},
+            arrays={"x": np.arange(4)},
+            meta={"cell": "demo"},
+        )
+        payload, arrays = store.get("k1")
+        assert payload == {"rho": {"1": 2.5}}
+        assert np.array_equal(arrays["x"], np.arange(4))
+
+    def test_missing_is_none(self, store):
+        assert store.get("nope") is None
+        assert "nope" not in store
+
+    def test_truncated_json_is_a_miss(self, store):
+        store.put("k1", {"v": 1})
+        path = store._json_path("k1")
+        path.write_bytes(path.read_bytes()[:20])
+        assert store.get("k1") is None
+        assert not path.exists(), "corrupt entry must be discarded"
+
+    def test_tampered_payload_is_a_miss(self, store):
+        store.put("k1", {"v": 1})
+        record = json.loads(store._json_path("k1").read_bytes())
+        record["payload"]["v"] = 2  # checksum no longer matches
+        store._json_path("k1").write_text(json.dumps(record))
+        assert store.get("k1") is None
+
+    def test_corrupted_npz_is_a_miss(self, store):
+        store.put("k1", {"v": 1}, arrays={"x": np.ones(3)})
+        store._npz_path("k1").write_bytes(b"not an npz")
+        assert store.get("k1") is None
+        assert not store._json_path("k1").exists()
+
+    def test_missing_npz_is_a_miss(self, store):
+        store.put("k1", {"v": 1}, arrays={"x": np.ones(3)})
+        store._npz_path("k1").unlink()
+        assert store.get("k1") is None
+
+    def test_recompute_after_corruption(self, store):
+        store.put("k1", {"v": 1})
+        store._json_path("k1").write_bytes(b"garbage")
+        assert store.get("k1") is None
+        store.put("k1", {"v": 1})
+        assert store.get("k1")[0] == {"v": 1}
+
+    def test_entries_and_manifest(self, store):
+        store.put("aa1", {"v": 1}, meta={"cell": "one", "fingerprint": "fp"})
+        store.put("bb2", {"v": 2}, meta={"cell": "two", "fingerprint": "fp"})
+        entries = {entry.key: entry for entry in store.entries()}
+        assert set(entries) == {"aa1", "bb2"}
+        assert entries["aa1"].meta["cell"] == "one"
+        assert entries["aa1"].size > 0
+        manifest = store.read_manifest()
+        assert set(manifest["entries"]) == {"aa1", "bb2"}
+
+    def test_remove_by_prefix_and_clear(self, store):
+        store.put("aa1", {"v": 1})
+        store.put("aa2", {"v": 2})
+        store.put("bb1", {"v": 3})
+        assert store.remove("aa") == 2
+        assert store.get("bb1") is not None
+        with pytest.raises(ExperimentError):
+            store.remove("")
+        assert store.clear() == 1
+        assert store.entries() == []
+
+    def test_remove_prefix_is_literal_not_a_glob(self, store):
+        store.put("aa1", {"v": 1})
+        # glob metacharacters must neither crash nor over-match
+        assert store.remove("*") == 0
+        assert store.remove("[a]") == 0
+        assert store.remove("?a") == 0
+        assert store.get("aa1") is not None
+
+    def test_gc_reclaims_stale_and_orphans(self, store):
+        store.put("old", {"v": 1}, meta={"fingerprint": "stale"})
+        store.put("new", {"v": 2}, meta={"fingerprint": "live"})
+        # orphans from interrupted writes: committed-then-lost npz and
+        # a temp file stranded by a hard kill mid-_atomic_write
+        (store.objects_dir / "orphan.npz").write_bytes(b"x")
+        (store.objects_dir / ".tmp-abc123").write_bytes(b"partial")
+        removed = store.gc("live")
+        assert removed == 3
+        assert store.get("new") is not None
+        assert store.get("old") is None
+        assert not (store.objects_dir / "orphan.npz").exists()
+        assert not (store.objects_dir / ".tmp-abc123").exists()
+
+    def test_same_key_rewrite_is_idempotent(self, store):
+        store.put("k", {"v": 1})
+        store.put("k", {"v": 1})
+        assert store.get("k")[0] == {"v": 1}
+        assert len(store.entries()) == 1
+
+
+def _writer(args):
+    root, worker, count = args
+    store = ResultStore(root)
+    for i in range(count):
+        key = f"w{worker}-{i}"
+        store.put(
+            key,
+            {"worker": worker, "i": i},
+            arrays={"x": np.full(8, worker)},
+            meta={"cell": key, "fingerprint": "fp"},
+        )
+    return worker
+
+
+class TestConcurrentWriters:
+    def test_parallel_puts_do_not_clobber(self, tmp_path):
+        """Racing writers: every entry readable, manifest stays valid."""
+        root = tmp_path / "store"
+        workers, per_worker = 4, 6
+        with multiprocessing.Pool(workers) as pool:
+            pool.map(_writer, [(str(root), w, per_worker) for w in range(workers)])
+        store = ResultStore(root)
+        keys = {f"w{w}-{i}" for w in range(workers) for i in range(per_worker)}
+        assert {entry.key for entry in store.entries()} == keys
+        for key in keys:
+            payload, arrays = store.get(key)
+            assert payload["i"] == int(key.split("-")[1])
+            assert arrays["x"].shape == (8,)
+        manifest = store.refresh_manifest()
+        assert set(manifest["entries"]) == keys
+        # the manifest file on disk parses and matches
+        assert set(store.read_manifest()["entries"]) == keys

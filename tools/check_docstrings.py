@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public API of ``src/repro``.
+
+Every module, public class, and public function/method (names not
+starting with ``_``; dunders exempt, the class docstring covers them)
+must carry a docstring.  CI runs this in the lint job; the build fails
+while any public surface is undocumented.
+
+Usage::
+
+    python tools/check_docstrings.py            # gate src/repro
+    python tools/check_docstrings.py --list     # also list covered defs
+    python tools/check_docstrings.py PATH ...   # gate other trees
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+from pathlib import Path
+
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _walk_definitions(tree: ast.Module):
+    """Yield ``(qualname, node)`` for the module's public surface."""
+    yield "<module>", tree
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(node.name):
+                yield node.name, node
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            yield node.name, node
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if _is_public(child.name):
+                        yield f"{node.name}.{child.name}", child
+
+
+def audit_file(path: Path):
+    """``(covered, missing)`` qualname lists for one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    covered, missing = [], []
+    for qualname, node in _walk_definitions(tree):
+        (covered if ast.get_docstring(node) else missing).append(qualname)
+    return covered, missing
+
+
+def main(argv=None) -> int:
+    """Gate the given trees (default ``src/repro``); 0 iff fully covered."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path, default=[DEFAULT_ROOT])
+    parser.add_argument(
+        "--list", action="store_true", help="also list covered definitions"
+    )
+    args = parser.parse_args(argv)
+
+    total_covered, failures = 0, []
+    for root in args.paths:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            covered, missing = audit_file(path)
+            total_covered += len(covered)
+            for qualname in missing:
+                failures.append(f"{path}: {qualname}")
+            if args.list:
+                for qualname in covered:
+                    print(f"ok: {path}: {qualname}")
+
+    total = total_covered + len(failures)
+    pct = 100.0 * total_covered / total if total else 100.0
+    print(
+        f"docstring coverage: {total_covered}/{total} public definitions ({pct:.1f}%)"
+    )
+    if failures:
+        print("\nmissing docstrings:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
