@@ -14,6 +14,7 @@ context.  All samplers realise the same distribution (tests assert
 that); this bench quantifies the speed gap that motivates Section 5.
 """
 
+import numpy as np
 import pytest
 
 from repro.baselines.cut_and_paste import CutAndPastePerturbation
@@ -21,10 +22,16 @@ from repro.baselines.mask import MaskPerturbation
 from repro.core.engine import GammaDiagonalPerturbation, MatrixPerturbation
 from repro.core.gamma_diagonal import GammaDiagonalMatrix
 from repro.data.census import generate_census
+from repro.experiments.config import dataset_scale
 
-#: Small enough that the naive dense sampler is still tractable.
-N_RECORDS = 5_000
+#: Small enough that the naive dense sampler is still tractable; the
+#: size honours ``$REPRO_SCALE`` like every other benchmark, so the CI
+#: smoke pass covers this file too.
+N_RECORDS = max(1_000, int(5_000 * dataset_scale()))
 GAMMA = 19.0
+
+#: Per-record-cost samplers (sequential, dense) run on a subsample.
+N_SLOW_RECORDS = min(500, N_RECORDS)
 
 
 @pytest.fixture(scope="module")
@@ -40,17 +47,17 @@ def test_perturb_vectorized(benchmark, records):
 
 def test_perturb_sequential_paper_algorithm(benchmark, records):
     engine = GammaDiagonalPerturbation(records.schema, GAMMA, method="sequential")
-    small = records.sample(500, __import__("numpy").random.default_rng(0))
+    small = records.sample(N_SLOW_RECORDS, np.random.default_rng(0))
     result = benchmark.pedantic(engine.perturb, args=(small, 0), rounds=3, iterations=1)
-    assert result.n_records == 500
+    assert result.n_records == N_SLOW_RECORDS
 
 
 def test_perturb_dense_naive(benchmark, records):
     dense = GammaDiagonalMatrix(records.schema.joint_size, GAMMA).to_dense()
     engine = MatrixPerturbation(records.schema, dense)
-    small = records.sample(500, __import__("numpy").random.default_rng(0))
+    small = records.sample(N_SLOW_RECORDS, np.random.default_rng(0))
     result = benchmark.pedantic(engine.perturb, args=(small, 0), rounds=3, iterations=1)
-    assert result.n_records == 500
+    assert result.n_records == N_SLOW_RECORDS
 
 
 def test_perturb_mask(benchmark, records):

@@ -11,13 +11,21 @@ Usage::
         --baseline benchmarks/baselines/BENCH_miners.json --update
 
 The run file is raw ``pytest-benchmark --benchmark-json`` output; the
-baseline is a slim, diff-friendly ``{benchmark name: median seconds}``
-map extracted from such a run (plus the environment it was recorded
-on).  A benchmark regresses when its median exceeds the baseline median
-by more than ``--threshold`` (default 0.30, overridable with
-``$BENCH_REGRESSION_THRESHOLD``).  Benchmarks present on only one side
-never fail the gate: new ones are reported as candidates for
-``--update``, vanished ones as warnings.
+baseline is a slim, diff-friendly map extracted from such a run (plus
+the environment it was recorded on).  Two quantities are gated per
+benchmark:
+
+* **time** -- the median seconds; a benchmark regresses when its
+  median exceeds the baseline by more than ``--threshold`` (default
+  0.30, overridable with ``$BENCH_REGRESSION_THRESHOLD``);
+* **memory** -- the ``peak_rss_bytes`` the harness records in
+  ``extra_info`` (see ``benchmarks/conftest.py``); gated the same way
+  with ``--rss-threshold`` (default 0.30, ``$BENCH_RSS_THRESHOLD``).
+
+Benchmarks (or RSS readings) present on only one side never fail the
+gate: new ones are reported as candidates for ``--update``, vanished
+ones as warnings.  Legacy baselines whose entries are bare medians are
+still read; ``--update`` rewrites them in the current format.
 """
 
 from __future__ import annotations
@@ -30,30 +38,48 @@ import sys
 from pathlib import Path
 
 DEFAULT_THRESHOLD = 0.30
+DEFAULT_RSS_THRESHOLD = 0.30
 
 
-def load_run_medians(path: Path) -> dict[str, float]:
-    """``{benchmark name: median seconds}`` from pytest-benchmark JSON."""
+def load_run(path: Path) -> dict[str, dict]:
+    """``{name: {"median": s, "peak_rss_bytes": n|None}}`` from a run."""
     data = json.loads(path.read_text())
     benchmarks = data.get("benchmarks", [])
     if not isinstance(benchmarks, list):
         raise SystemExit(f"{path}: not a pytest-benchmark JSON file")
-    return {b["name"]: float(b["stats"]["median"]) for b in benchmarks}
+    entries = {}
+    for bench in benchmarks:
+        rss = bench.get("extra_info", {}).get("peak_rss_bytes")
+        entries[bench["name"]] = {
+            "median": float(bench["stats"]["median"]),
+            "peak_rss_bytes": int(rss) if rss is not None else None,
+        }
+    return entries
 
 
-def load_baseline(path: Path) -> dict[str, float]:
-    """``{benchmark name: median seconds}`` from a slim baseline file."""
+def load_baseline(path: Path) -> dict[str, dict]:
+    """Baseline entries, normalised (legacy bare-median files accepted)."""
     data = json.loads(path.read_text())
-    medians = data.get("benchmarks")
-    if not isinstance(medians, dict):
+    raw = data.get("benchmarks")
+    if not isinstance(raw, dict):
         raise SystemExit(
             f"{path}: not a baseline file (expected a 'benchmarks' map; "
             f"regenerate with --update)"
         )
-    return {name: float(median) for name, median in medians.items()}
+    entries = {}
+    for name, value in raw.items():
+        if isinstance(value, dict):
+            rss = value.get("peak_rss_bytes")
+            entries[name] = {
+                "median": float(value["median"]),
+                "peak_rss_bytes": int(rss) if rss is not None else None,
+            }
+        else:  # legacy format: bare median seconds
+            entries[name] = {"median": float(value), "peak_rss_bytes": None}
+    return entries
 
 
-def write_baseline(path: Path, medians: dict[str, float], source: Path) -> None:
+def write_baseline(path: Path, entries: dict[str, dict], source: Path) -> None:
     """Persist a slim baseline (sorted keys, environment stamp)."""
     payload = {
         "meta": {
@@ -62,14 +88,27 @@ def write_baseline(path: Path, medians: dict[str, float], source: Path) -> None:
             "machine": platform.machine(),
             "repro_scale": os.environ.get("REPRO_SCALE", "1"),
         },
-        "benchmarks": dict(sorted(medians.items())),
+        "benchmarks": dict(sorted(entries.items())),
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
+def _gate(name, what, old, new, threshold, unit, regressions, notes):
+    """Classify one old-vs-new reading into a regression or a note."""
+    ratio = (new - old) / old if old > 0 else 0.0
+    line = f"{name} [{what}]: {old:{unit}} -> {new:{unit}} ({ratio:+.1%})"
+    if ratio > threshold:
+        regressions.append(line)
+    else:
+        notes.append(f"ok: {line}")
+
+
 def compare(
-    run: dict[str, float], baseline: dict[str, float], threshold: float
+    run: dict[str, dict],
+    baseline: dict[str, dict],
+    threshold: float,
+    rss_threshold: float,
 ) -> tuple[list[str], list[str]]:
     """Return (regression lines, informational lines)."""
     regressions, notes = [], []
@@ -78,12 +117,30 @@ def compare(
             notes.append(f"warning: baseline benchmark {name!r} missing from run")
             continue
         old, new = baseline[name], run[name]
-        ratio = (new - old) / old if old > 0 else 0.0
-        line = f"{name}: {old:.6f}s -> {new:.6f}s ({ratio:+.1%})"
-        if ratio > threshold:
-            regressions.append(line)
+        _gate(
+            name,
+            "time",
+            old["median"],
+            new["median"],
+            threshold,
+            ".6f",
+            regressions,
+            notes,
+        )
+        if old["peak_rss_bytes"] is None or new["peak_rss_bytes"] is None:
+            if old["peak_rss_bytes"] is not None:
+                notes.append(f"warning: {name!r} lost its peak-RSS reading")
         else:
-            notes.append(f"ok: {line}")
+            _gate(
+                name,
+                "rss",
+                old["peak_rss_bytes"],
+                new["peak_rss_bytes"],
+                rss_threshold,
+                ",d",
+                regressions,
+                notes,
+            )
     for name in sorted(set(run) - set(baseline)):
         notes.append(
             f"note: new benchmark {name!r} not in baseline (run --update)"
@@ -93,7 +150,7 @@ def compare(
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Fail when benchmark medians regress past the baseline."
+        description="Fail when benchmark medians or peak RSS regress past the baseline."
     )
     parser.add_argument("run", type=Path, help="pytest-benchmark JSON output")
     parser.add_argument(
@@ -108,35 +165,41 @@ def main(argv=None) -> int:
         help="allowed fractional slowdown before failing (default 0.30)",
     )
     parser.add_argument(
+        "--rss-threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_RSS_THRESHOLD", DEFAULT_RSS_THRESHOLD)),
+        help="allowed fractional peak-RSS growth before failing (default 0.30)",
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="rewrite the baseline from this run instead of comparing",
     )
     args = parser.parse_args(argv)
 
-    medians = load_run_medians(args.run)
-    if not medians:
+    entries = load_run(args.run)
+    if not entries:
         print(f"{args.run}: no benchmarks recorded", file=sys.stderr)
         return 2
     if args.update:
-        write_baseline(args.baseline, medians, source=args.run)
-        print(f"baseline refreshed: {args.baseline} ({len(medians)} benchmarks)")
+        write_baseline(args.baseline, entries, source=args.run)
+        print(f"baseline refreshed: {args.baseline} ({len(entries)} benchmarks)")
         return 0
 
     baseline = load_baseline(args.baseline)
-    regressions, notes = compare(medians, baseline, args.threshold)
+    regressions, notes = compare(entries, baseline, args.threshold, args.rss_threshold)
     for line in notes:
         print(line)
     if regressions:
         print(
-            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
-            f"{args.threshold:.0%}:",
+            f"\nFAIL: {len(regressions)} reading(s) regressed past the "
+            f"threshold:",
             file=sys.stderr,
         )
         for line in regressions:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print(f"\nPASS: {len(baseline)} benchmark(s) within {args.threshold:.0%}")
+    print(f"\nPASS: {len(baseline)} benchmark(s) within thresholds")
     return 0
 
 

@@ -11,11 +11,23 @@ gitignored -- nothing under it should ever be committed).
 
 Dataset sizes default to the paper's (50k CENSUS / 100k HEALTH); set
 ``REPRO_SCALE=0.1`` for a quick smoke pass.
+
+Peak RSS
+--------
+Every pytest-benchmark test additionally records ``peak_rss_bytes`` in
+its ``extra_info`` (and hence in the ``--benchmark-json`` output, which
+``check_regression.py`` gates against committed baselines).  On Linux
+the kernel's per-process high-water mark (``VmHWM``) is *reset* before
+each benchmark via ``/proc/self/clear_refs``, so the number is that
+benchmark's own peak; where the reset is unavailable the monotone
+``ru_maxrss`` is recorded instead (still regression-detectable, just
+cumulative).
 """
 
 from __future__ import annotations
 
 import os
+import resource
 from pathlib import Path
 
 import pytest
@@ -27,6 +39,48 @@ from repro.experiments.config import dataset_scale
 RESULTS_DIR = Path(
     os.environ.get("REPRO_RESULTS_DIR", Path(__file__).parent / "results")
 )
+
+_CLEAR_REFS = Path("/proc/self/clear_refs")
+_STATUS = Path("/proc/self/status")
+
+
+def reset_peak_rss() -> bool:
+    """Reset the kernel's peak-RSS counter for this process (Linux).
+
+    Returns ``True`` when the reset took effect; on other platforms (or
+    locked-down containers) the counter stays monotone and the caller
+    falls back to cumulative readings.
+    """
+    try:
+        _CLEAR_REFS.write_text("5")
+        return True
+    except OSError:
+        return False
+
+
+def peak_rss_bytes() -> int:
+    """Current peak resident-set size of this process, in bytes."""
+    try:
+        for line in _STATUS.read_text().splitlines():
+            if line.startswith("VmHWM:"):
+                return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    # ru_maxrss is kilobytes on Linux (bytes on macOS, which we accept
+    # as an over-estimate there -- benchmarks are gated on Linux CI).
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+@pytest.fixture(autouse=True)
+def _record_peak_rss(request):
+    """Attach ``peak_rss_bytes`` to every pytest-benchmark test."""
+    if "benchmark" not in request.fixturenames:
+        yield
+        return
+    benchmark = request.getfixturevalue("benchmark")
+    reset_peak_rss()
+    yield
+    benchmark.extra_info.setdefault("peak_rss_bytes", peak_rss_bytes())
 
 
 def keep_results() -> bool:

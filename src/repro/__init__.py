@@ -39,11 +39,14 @@ from repro.core import (
 from repro.data import (
     Attribute,
     CategoricalDataset,
+    FrdDataset,
     Schema,
     census_schema,
     generate_census,
     generate_health,
     health_schema,
+    open_frd,
+    save_frd,
 )
 from repro.exceptions import FrappError
 from repro.metrics import evaluate_mining
@@ -92,6 +95,7 @@ __all__ = [
     "CutAndPastePerturbation",
     "DetGDMiner",
     "FrappError",
+    "FrdDataset",
     "GammaDiagonalMatrix",
     "GammaDiagonalPerturbation",
     "Itemset",
@@ -125,8 +129,10 @@ __all__ = [
     "mine_exact",
     "mine_per_level",
     "mine_stream",
+    "open_frd",
     "reconstruct_counts",
     "reconstruct_stream",
+    "save_frd",
     "stream_perturbed_bitmaps",
     "stream_perturbed_counts",
 ]

@@ -92,14 +92,20 @@ def _diagonal_or_other(
     diagonal_probs: np.ndarray,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Record-array front-end of :func:`_realise_diagonal_or_other`."""
+    """Record-array front-end of :func:`_realise_diagonal_or_other`.
+
+    The output keeps the input's cell dtype, so compact record chunks
+    stay compact through the perturb round trip (no silent ``int64``
+    upcast on the hot path).
+    """
     n_records = records.shape[0]
     if n_records == 0:
         return records.copy()
     joint = schema.encode(records)
     draws = rng.random((n_records, 2))
     return schema.decode(
-        _realise_diagonal_or_other(joint, diagonal_probs, schema.joint_size, draws)
+        _realise_diagonal_or_other(joint, diagonal_probs, schema.joint_size, draws),
+        dtype=records.dtype,
     )
 
 
@@ -133,7 +139,11 @@ class GammaDiagonalPerturbation:
         if dataset.schema != self.schema:
             raise DataError("dataset schema does not match the perturbation schema")
         rng = as_generator(seed)
-        return CategoricalDataset(self.schema, self.perturb_chunk(dataset.records, rng))
+        # Perturbed values are in-domain by construction: adopt them
+        # without the public constructor's validation scan and copy.
+        return CategoricalDataset._trusted(
+            self.schema, self.perturb_chunk(dataset.records, rng)
+        )
 
     def perturb_chunk(self, records: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Perturb a raw ``(m, M)`` record array, advancing ``rng``."""
@@ -189,8 +199,9 @@ class GammaDiagonalPerturbation:
                         continue
                     # Uniform over the other card-1 values; the realised
                     # probability is ratio*x/prod, so prod becomes ratio*x.
+                    # int() guards the sum against narrow-dtype wraparound.
                     shift = rng.integers(1, card)
-                    out[i, j] = (record[j] + shift) % card
+                    out[i, j] = (int(record[j]) + shift) % card
                     prod = ratio * x
                     matched = False
                 else:
@@ -241,13 +252,21 @@ class RandomizedGammaDiagonalPerturbation:
         if dataset.schema != self.schema:
             raise DataError("dataset schema does not match the perturbation schema")
         rng = as_generator(seed)
-        return CategoricalDataset(self.schema, self.perturb_chunk(dataset.records, rng))
+        return CategoricalDataset._trusted(
+            self.schema, self.perturb_chunk(dataset.records, rng)
+        )
 
     def perturb_chunk(self, records: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """Perturb a raw ``(m, M)`` record array, advancing ``rng``."""
+        """Perturb a raw ``(m, M)`` record array, advancing ``rng``.
+
+        Output cells keep the input dtype (compact in, compact out).
+        """
         if records.shape[0] == 0:
             return records.copy()
-        return self.schema.decode(self.perturb_joint(self.schema.encode(records), rng))
+        return self.schema.decode(
+            self.perturb_joint(self.schema.encode(records), rng),
+            dtype=records.dtype,
+        )
 
     def perturb_joint(self, joint: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Perturb raw joint indices, advancing ``rng``.
@@ -304,10 +323,16 @@ class MatrixPerturbation:
         return CategoricalDataset.from_joint_indices(self.schema, perturbed)
 
     def perturb_chunk(self, records: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """Perturb a raw ``(m, M)`` record array, advancing ``rng``."""
+        """Perturb a raw ``(m, M)`` record array, advancing ``rng``.
+
+        Output cells keep the input dtype (compact in, compact out).
+        """
         if records.shape[0] == 0:
             return records.copy()
-        return self.schema.decode(self.perturb_joint(self.schema.encode(records), rng))
+        return self.schema.decode(
+            self.perturb_joint(self.schema.encode(records), rng),
+            dtype=records.dtype,
+        )
 
     def perturb_joint(self, joint: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Inverse-CDF sampling: one uniform per record, in record order.

@@ -15,9 +15,19 @@ supplies that substrate:
   two evaluation datasets (Table 1 / Table 2 schemas, with seeded
   synthetic generators standing in for the UCI/NHIS raw data -- see
   DESIGN.md for the substitution rationale);
-* :mod:`repro.data.io` -- CSV round-tripping.
+* :mod:`repro.data.backing` -- compact record storage policy: minimal
+  per-attribute dtypes, the uniform compact cell dtype, and the
+  record-block protocol behind the zero-copy pipeline dispatch;
+* :mod:`repro.data.io` -- CSV round-tripping and the memory-mappable
+  columnar ``.frd`` format for out-of-core datasets.
 """
 
+from repro.data.backing import (
+    DATASET_BACKENDS,
+    column_dtypes,
+    minimal_dtype,
+    record_dtype,
+)
 from repro.data.census import census_schema, generate_census
 from repro.data.dataset import CategoricalDataset
 from repro.data.discretize import (
@@ -28,17 +38,31 @@ from repro.data.discretize import (
     interval_labels,
 )
 from repro.data.health import generate_health, health_schema
-from repro.data.io import iter_csv_chunks, load_csv, save_csv, save_csv_chunks
+from repro.data.io import (
+    FrdDataset,
+    FrdWriter,
+    iter_csv_chunks,
+    load_csv,
+    open_frd,
+    save_csv,
+    save_csv_chunks,
+    save_frd,
+    save_frd_chunks,
+)
 from repro.data.schema import Attribute, Schema
 from repro.data.synthetic import MixtureModel, Prototype
 
 __all__ = [
     "Attribute",
     "CategoricalDataset",
+    "DATASET_BACKENDS",
+    "FrdDataset",
+    "FrdWriter",
     "MixtureModel",
     "Prototype",
     "Schema",
     "census_schema",
+    "column_dtypes",
     "discretize_equidepth",
     "discretize_equiwidth",
     "equidepth_edges",
@@ -49,6 +73,11 @@ __all__ = [
     "interval_labels",
     "iter_csv_chunks",
     "load_csv",
+    "minimal_dtype",
+    "open_frd",
+    "record_dtype",
     "save_csv",
     "save_csv_chunks",
+    "save_frd",
+    "save_frd_chunks",
 ]

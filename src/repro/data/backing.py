@@ -1,0 +1,165 @@
+"""Compact record backing: minimal dtypes and uniform record blocks.
+
+FRAPP datasets are categorical, so every cell is a small non-negative
+integer bounded by its attribute's cardinality -- yet the seed library
+stored all of them as ``int64``.  This module fixes the storage policy
+in one place:
+
+* **Per-attribute minimal dtypes.**  :func:`minimal_dtype` picks the
+  smallest unsigned integer type (``uint8``/``uint16``/``uint32``) that
+  holds ``cardinality - 1``; :func:`column_dtypes` applies it per
+  schema attribute.  The on-disk ``.frd`` format
+  (:mod:`repro.data.io`) stores each attribute column at exactly this
+  width.
+* **Uniform compact cell dtype.**  In RAM a dataset keeps the natural
+  ``(N, M)`` two-dimensional layout, so all cells share one dtype:
+  :func:`record_dtype` returns the widest of the per-attribute minimal
+  dtypes (``uint8`` for both paper schemas -- an 8x reduction over
+  ``int64``).
+* **Record blocks.**  A :class:`RecordBlock` is the unit the pipeline's
+  zero-copy dispatch operates on: anything exposing ``schema``,
+  ``n_records`` and ``records(start, stop)``.  :class:`ArrayRecordBlock`
+  wraps an in-RAM array; :class:`repro.data.io.FrdDataset` is the
+  memory-mapped implementation.  :func:`as_record_block` normalises the
+  pipeline's accepted source types into a block (or ``None`` for
+  unsized chunk iterables, which cannot be block-dispatched).
+
+Dtype choice can never change any count: category indices are equal as
+integers whatever their width, and every kernel downstream
+(``ravel_multi_index``, ``bincount``, the bitmap packer) consumes them
+value-wise.  Tests pin this with a Hypothesis equivalence suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Schema, as_integer_array
+from repro.exceptions import DataError
+
+#: Dataset materialisation backends (``ExperimentConfig.backend`` /
+#: ``--backend``): ``"compact"`` stores cells at :func:`record_dtype`,
+#: ``"int64"`` reproduces the seed library's blanket 8-byte cells.
+DATASET_BACKENDS = ("compact", "int64")
+
+#: The unsigned dtype ladder minimal dtypes are drawn from.
+_DTYPE_LADDER = (np.uint8, np.uint16, np.uint32)
+
+
+def validate_dataset_backend(backend: str) -> str:
+    """Validate and return a dataset backend name."""
+    if backend not in DATASET_BACKENDS:
+        raise DataError(
+            f"backend must be one of {DATASET_BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
+def validate_in_domain(schema: Schema, records: np.ndarray) -> None:
+    """Raise :class:`DataError` unless every cell is inside its domain.
+
+    The one domain scan of the storage policy, shared by dataset
+    construction, the ``.frd`` writer, the bitmap packer and the
+    shared-memory exporter.  Reports the first offending record and
+    attribute.
+    """
+    cards = np.asarray(schema.cardinalities, dtype=np.int64)
+    if records.size and (np.any(records < 0) or np.any(records >= cards)):
+        bad = np.argwhere((records < 0) | (records >= cards))[0]
+        raise DataError(
+            f"record {bad[0]} has out-of-domain value for attribute "
+            f"{schema.names[bad[1]]!r}"
+        )
+
+
+def minimal_dtype(cardinality: int) -> np.dtype:
+    """Smallest unsigned dtype holding category indices ``0..card-1``."""
+    if cardinality < 1:
+        raise DataError(f"cardinality must be >= 1, got {cardinality}")
+    for dtype in _DTYPE_LADDER:
+        if cardinality - 1 <= np.iinfo(dtype).max:
+            return np.dtype(dtype)
+    raise DataError(
+        f"cardinality {cardinality} exceeds the uint32 category-index range"
+    )
+
+
+def column_dtypes(schema: Schema) -> tuple[np.dtype, ...]:
+    """Per-attribute minimal dtypes (the ``.frd`` column widths)."""
+    return tuple(minimal_dtype(card) for card in schema.cardinalities)
+
+
+def record_dtype(schema: Schema) -> np.dtype:
+    """The uniform compact cell dtype: widest per-attribute minimum."""
+    return max(column_dtypes(schema), key=lambda dtype: dtype.itemsize)
+
+
+def backend_dtype(schema: Schema, backend: str) -> np.dtype:
+    """The cell dtype a dataset backend materialises records at."""
+    validate_dataset_backend(backend)
+    return np.dtype(np.int64) if backend == "int64" else record_dtype(schema)
+
+
+def backend_of(records: np.ndarray) -> str:
+    """Classify an existing record array's backend by its cell width."""
+    if records.dtype.itemsize < np.dtype(np.int64).itemsize:
+        return "compact"
+    return "int64"
+
+
+class ArrayRecordBlock:
+    """An in-RAM :class:`RecordBlock` over an ``(N, M)`` record array.
+
+    ``records(start, stop)`` returns zero-copy views; the executor's
+    ``dispatch="shm"`` mode copies the whole block *once* into shared
+    memory and re-wraps the shared buffer with this class inside each
+    worker.
+    """
+
+    def __init__(self, schema: Schema, records: np.ndarray):
+        records = np.asarray(records)
+        if records.ndim != 2 or records.shape[1] != schema.n_attributes:
+            raise DataError(
+                f"record block must have shape (N, {schema.n_attributes}), "
+                f"got {records.shape}"
+            )
+        self.schema = schema
+        self._records = records
+
+    @property
+    def n_records(self) -> int:
+        """``N`` -- the number of records in the block."""
+        return int(self._records.shape[0])
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The cell dtype records are stored at."""
+        return self._records.dtype
+
+    def records(self, start: int, stop: int) -> np.ndarray:
+        """Zero-copy ``(stop - start, M)`` view of the block."""
+        return self._records[start:stop]
+
+
+def as_record_block(source, schema: Schema):
+    """Normalise a pipeline source into a :class:`RecordBlock`, if sized.
+
+    Datasets, raw record arrays and memory-mapped
+    :class:`~repro.data.io.FrdDataset` handles are blocks (random
+    access by span, known extent); generic chunk iterables are not and
+    yield ``None`` -- callers fall back to streaming dispatch.
+    """
+    from repro.data.dataset import CategoricalDataset
+    from repro.data.io import FrdDataset
+
+    if isinstance(source, CategoricalDataset):
+        if source.schema != schema:
+            raise DataError("dataset schema does not match the pipeline schema")
+        return ArrayRecordBlock(schema, source.records)
+    if isinstance(source, FrdDataset):
+        if source.schema != schema:
+            raise DataError("dataset schema does not match the pipeline schema")
+        return source
+    if isinstance(source, np.ndarray):
+        return ArrayRecordBlock(schema, as_integer_array(source))
+    return None

@@ -86,7 +86,9 @@ def census_mixture() -> MixtureModel:
     return MixtureModel(schema, _CENSUS_MARGINALS, prototypes, noise=CENSUS_NOISE)
 
 
-def generate_census(n_records: int = CENSUS_N_RECORDS, seed=7001) -> CategoricalDataset:
+def generate_census(
+    n_records: int = CENSUS_N_RECORDS, seed=7001, backend: str = "compact"
+) -> CategoricalDataset:
     """Generate the synthetic CENSUS dataset.
 
     Parameters
@@ -96,5 +98,8 @@ def generate_census(n_records: int = CENSUS_N_RECORDS, seed=7001) -> Categorical
     seed:
         Seed (or generator); the default makes the canonical dataset
         reproducible across the whole repo.
+    backend:
+        Record-cell storage: ``"compact"`` (default, minimal dtype) or
+        ``"int64"``; identical values for the same seed either way.
     """
-    return census_mixture().sample(n_records, seed=seed)
+    return census_mixture().sample(n_records, seed=seed, backend=backend)

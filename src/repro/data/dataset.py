@@ -10,8 +10,31 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.data.backing import (
+    backend_dtype,
+    backend_of,
+    validate_dataset_backend,
+    validate_in_domain,
+)
 from repro.data.schema import Schema
 from repro.exceptions import DataError, SchemaError
+
+
+def _immutable(array: np.ndarray) -> bool:
+    """Whether no caller can mutate ``array`` through any alias.
+
+    Read-only flags alone are not enough: a read-only *view* of a
+    writable base (``base.view()`` + ``setflags``, ``broadcast_to``)
+    can still change under the caller's hands.  Walk the base chain;
+    every ndarray level must itself be non-writable.  Non-ndarray
+    bases (``mmap`` objects under ``np.memmap(mode="r")``) end the
+    chain.
+    """
+    while isinstance(array, np.ndarray):
+        if array.flags.writeable:
+            return False
+        array = array.base
+    return True
 
 
 class CategoricalDataset:
@@ -27,16 +50,32 @@ class CategoricalDataset:
 
     Notes
     -----
-    The record array is copied and made read-only, so datasets are
-    immutable value objects -- perturbation mechanisms always return a
-    *new* dataset.
+    Datasets are immutable value objects -- perturbation mechanisms
+    always return a *new* dataset -- and the construction policy makes
+    that cheap:
+
+    * integer arrays keep their dtype (compact ``uint8`` records stay
+      compact; nothing is silently upcast to ``int64``);
+    * a *writable* input array is copied once, so later caller-side
+      mutation cannot reach the dataset;
+    * a genuinely immutable input array (read-only through its whole
+      base chain, e.g. a slice of another dataset's records) is
+      adopted as-is -- validated but never copied;
+    * non-integer input (nested lists, float arrays) pays exactly one
+      conversion to ``int64``.
     """
 
     def __init__(self, schema: Schema, records):
         raw = np.asarray(records)
         if np.issubdtype(raw.dtype, np.floating) and not np.all(np.isfinite(raw)):
             raise DataError("records contain non-finite values (NaN/inf)")
-        records = np.array(raw, dtype=np.int64, copy=True)
+        if np.issubdtype(raw.dtype, np.integer):
+            # The only copy, taken iff the caller could still mutate it
+            # (directly, or through a writable base under a read-only
+            # view).
+            records = raw if _immutable(raw) else raw.copy()
+        else:
+            records = raw.astype(np.int64)
         if records.ndim != 2:
             raise DataError(f"records must be 2-D (N, M), got shape {records.shape}")
         if records.shape[1] != schema.n_attributes:
@@ -44,24 +83,41 @@ class CategoricalDataset:
                 f"records have {records.shape[1]} columns but schema has "
                 f"{schema.n_attributes} attributes"
             )
-        cards = np.asarray(schema.cardinalities, dtype=np.int64)
-        if records.size and (np.any(records < 0) or np.any(records >= cards)):
-            bad = np.argwhere((records < 0) | (records >= cards))[0]
-            raise DataError(
-                f"record {bad[0]} has out-of-domain value for attribute "
-                f"{schema.names[bad[1]]!r}"
-            )
+        validate_in_domain(schema, records)
         records.setflags(write=False)
         self.schema = schema
         self.records = records
+
+    @classmethod
+    def _trusted(cls, schema: Schema, records: np.ndarray) -> "CategoricalDataset":
+        """Adopt an internally produced, already-valid record array.
+
+        Skips the domain scan and the anti-aliasing copy of the public
+        constructor; callers must hand over a fresh (or read-only)
+        integer ``(N, M)`` array they will not mutate.  This is what
+        keeps engine outputs and chunk slices zero-copy.
+        """
+        dataset = cls.__new__(cls)
+        records.setflags(write=False)
+        dataset.schema = schema
+        dataset.records = records
+        return dataset
 
     # ------------------------------------------------------------------
     # constructors
     # ------------------------------------------------------------------
     @classmethod
     def from_joint_indices(cls, schema: Schema, joint_indices) -> "CategoricalDataset":
-        """Build a dataset from values in the joint index set ``I_U``."""
-        return cls(schema, schema.decode(np.asarray(joint_indices, dtype=np.int64)))
+        """Build a dataset from values in the joint index set ``I_U``.
+
+        ``Schema.decode`` both validates the joint indices and produces
+        a fresh compact record array, so the result is adopted directly
+        -- no second validation pass, no extra copy.
+        """
+        decoded = schema.decode(
+            np.asarray(joint_indices), dtype=backend_dtype(schema, "compact")
+        )
+        return cls._trusted(schema, decoded)
 
     @classmethod
     def from_labels(cls, schema: Schema, rows) -> "CategoricalDataset":
@@ -88,6 +144,31 @@ class CategoricalDataset:
     def n_records(self) -> int:
         """``N`` -- the number of records."""
         return int(self.records.shape[0])
+
+    @property
+    def backend(self) -> str:
+        """Storage backend of the record cells: ``"compact"`` or ``"int64"``."""
+        return backend_of(self.records)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the record array (the resident footprint)."""
+        return int(self.records.nbytes)
+
+    def with_backend(self, backend: str) -> "CategoricalDataset":
+        """Records re-materialised at a backend's cell dtype.
+
+        ``"compact"`` stores cells at the schema's minimal uniform
+        width (:func:`repro.data.backing.record_dtype`), ``"int64"``
+        at the seed library's blanket 8 bytes.  Returns ``self`` when
+        the records already have that dtype; counts and equality are
+        dtype-independent either way.
+        """
+        validate_dataset_backend(backend)
+        dtype = backend_dtype(self.schema, backend)
+        if self.records.dtype == dtype:
+            return self
+        return CategoricalDataset._trusted(self.schema, self.records.astype(dtype))
 
     def __len__(self) -> int:
         return self.n_records
@@ -179,7 +260,9 @@ class CategoricalDataset:
         if chunk_size < 1:
             raise DataError(f"chunk_size must be >= 1, got {chunk_size}")
         for start in range(0, self.n_records, chunk_size):
-            yield CategoricalDataset(
+            # Slices of the read-only record array are adopted as-is,
+            # so chunking never duplicates record storage.
+            yield CategoricalDataset._trusted(
                 self.schema, self.records[start : start + chunk_size]
             )
 
@@ -190,4 +273,4 @@ class CategoricalDataset:
                 f"sample size {size} out of range 0..{self.n_records}"
             )
         idx = rng.choice(self.n_records, size=size, replace=False)
-        return CategoricalDataset(self.schema, self.records[idx])
+        return CategoricalDataset._trusted(self.schema, self.records[idx])

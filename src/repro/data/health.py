@@ -94,6 +94,12 @@ def health_mixture() -> MixtureModel:
     return MixtureModel(schema, _HEALTH_MARGINALS, prototypes, noise=HEALTH_NOISE)
 
 
-def generate_health(n_records: int = HEALTH_N_RECORDS, seed=7002) -> CategoricalDataset:
-    """Generate the synthetic HEALTH dataset (defaults: paper-scale, seeded)."""
-    return health_mixture().sample(n_records, seed=seed)
+def generate_health(
+    n_records: int = HEALTH_N_RECORDS, seed=7002, backend: str = "compact"
+) -> CategoricalDataset:
+    """Generate the synthetic HEALTH dataset (defaults: paper-scale, seeded).
+
+    ``backend`` picks the record-cell storage (``"compact"`` or
+    ``"int64"``); the drawn values are identical for the same seed.
+    """
+    return health_mixture().sample(n_records, seed=seed, backend=backend)

@@ -20,6 +20,21 @@ import numpy as np
 from repro.exceptions import SchemaError
 
 
+def as_integer_array(values) -> np.ndarray:
+    """Coerce to an integer array, preserving existing integer dtypes.
+
+    The one coercion rule of the storage policy (see
+    :mod:`repro.data.backing`): integer arrays of *any* width pass
+    through untouched -- compact ``uint8`` cells are never silently
+    upcast -- while lists, floats and booleans pay exactly one
+    conversion to ``int64``.
+    """
+    array = np.asarray(values)
+    if np.issubdtype(array.dtype, np.integer):
+        return array
+    return array.astype(np.int64)
+
+
 @dataclass(frozen=True)
 class Attribute:
     """A single categorical attribute.
@@ -168,9 +183,12 @@ class Schema:
     def encode(self, records) -> np.ndarray:
         """Map records (shape ``(N, M)`` of category indices) to ``I_U``.
 
-        The inverse of :meth:`decode`.
+        The inverse of :meth:`decode`.  Integer record arrays of any
+        width are consumed in place -- compact ``uint8`` records are
+        *not* upcast to ``int64`` first, which keeps the streaming hot
+        path copy-free.
         """
-        records = np.asarray(records, dtype=np.int64)
+        records = as_integer_array(records)
         if records.ndim != 2 or records.shape[1] != self.n_attributes:
             raise SchemaError(
                 f"records must have shape (N, {self.n_attributes}), "
@@ -178,9 +196,15 @@ class Schema:
             )
         return np.ravel_multi_index(records.T, dims=self.cardinalities)
 
-    def decode(self, joint_indices) -> np.ndarray:
-        """Map joint indices in ``I_U`` back to ``(N, M)`` records."""
-        joint_indices = np.asarray(joint_indices, dtype=np.int64)
+    def decode(self, joint_indices, dtype=np.int64) -> np.ndarray:
+        """Map joint indices in ``I_U`` back to ``(N, M)`` records.
+
+        ``dtype`` fixes the cell dtype of the result (``int64`` by
+        default for backward compatibility; pass a compact dtype from
+        :func:`repro.data.backing.record_dtype` to decode without the
+        blanket 8-byte upcast).
+        """
+        joint_indices = as_integer_array(joint_indices)
         if joint_indices.ndim != 1:
             raise SchemaError(
                 f"joint indices must be 1-D, got shape {joint_indices.shape}"
@@ -190,7 +214,10 @@ class Schema:
         ):
             raise SchemaError("joint index out of range for this schema")
         unraveled = np.unravel_index(joint_indices, self.cardinalities)
-        return np.stack(unraveled, axis=1).astype(np.int64)
+        out = np.empty((joint_indices.shape[0], self.n_attributes), dtype=dtype)
+        for j, column in enumerate(unraveled):
+            out[:, j] = column
+        return out
 
     def encode_subset(self, records, positions) -> np.ndarray:
         """Joint indices over the *sub*-domain of the given attributes.
@@ -201,7 +228,7 @@ class Schema:
         positions = self._validate_positions(positions)
         if not positions:
             raise SchemaError("attribute subset must be non-empty")
-        records = np.asarray(records, dtype=np.int64)
+        records = as_integer_array(records)
         cards = [self.cardinalities[p] for p in positions]
         cols = [records[:, p] for p in positions]
         return np.ravel_multi_index(cols, dims=cards)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.data.backing import backend_dtype
 from repro.data.dataset import CategoricalDataset
 from repro.data.schema import Schema
 from repro.exceptions import DataError
@@ -108,15 +109,23 @@ class MixtureModel:
         """Probability that a record is background (marginals-only)."""
         return 1.0 - self._prototype_mass
 
-    def sample(self, n_records: int, seed=None) -> CategoricalDataset:
-        """Draw ``n_records`` i.i.d. records from the mixture."""
+    def sample(
+        self, n_records: int, seed=None, backend: str = "compact"
+    ) -> CategoricalDataset:
+        """Draw ``n_records`` i.i.d. records from the mixture.
+
+        ``backend`` fixes the cell dtype of the materialised records:
+        ``"compact"`` (default) uses the schema's minimal uniform width,
+        ``"int64"`` the legacy 8-byte cells.  The drawn values are
+        identical either way for the same seed.
+        """
         if n_records < 0:
             raise DataError(f"n_records must be >= 0, got {n_records}")
         rng = as_generator(seed)
         m = self.schema.n_attributes
 
         # Background draw for every record; prototype rows overwrite below.
-        records = np.empty((n_records, m), dtype=np.int64)
+        records = np.empty((n_records, m), dtype=backend_dtype(self.schema, backend))
         for j, marg in enumerate(self.marginals):
             records[:, j] = rng.choice(marg.size, size=n_records, p=marg)
 
@@ -134,7 +143,9 @@ class MixtureModel:
                 background = records[proto_rows]
                 records[proto_rows] = np.where(keep, chosen, background)
 
-        return CategoricalDataset(self.schema, records)
+        # Every cell was drawn inside its attribute's domain, so the
+        # array is adopted without a validation pass or defensive copy.
+        return CategoricalDataset._trusted(self.schema, records)
 
     def expected_marginal(self, attribute: int) -> np.ndarray:
         """Exact single-attribute marginal implied by the mixture.

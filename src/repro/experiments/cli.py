@@ -23,10 +23,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.data.backing import DATASET_BACKENDS
 from repro.data.census import census_schema
 from repro.experiments.config import ExperimentConfig, PAPER_GAMMA
 from repro.experiments.orchestrator import DatasetSpec, Orchestrator
 from repro.mining.kernels import COUNT_BACKENDS
+from repro.pipeline.executor import DISPATCH_MODES
 from repro.experiments.figures import (
     comparison_figure_cells,
     figure1,
@@ -76,6 +78,8 @@ def _config_from_args(args) -> ExperimentConfig:
         workers=args.workers,
         chunk_size=args.chunk_size,
         count_backend=args.count_backend,
+        backend=args.backend,
+        dispatch=args.dispatch,
     )
 
 
@@ -274,6 +278,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="bitmap",
         help="support-counting kernel: packed AND/popcount bitmaps (default) "
         "or per-subset bincount loops (identical results)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(DATASET_BACKENDS),
+        default="compact",
+        help="dataset record storage: minimal compact cell dtype (default) "
+        "or legacy int64 cells (identical results, ~8x the memory)",
+    )
+    parser.add_argument(
+        "--dispatch",
+        choices=list(DISPATCH_MODES),
+        default="pickle",
+        help="multi-worker chunk transport: per-chunk pickling (default) or "
+        "zero-copy shared-memory spans (identical results; needs --workers > 1 "
+        "to matter)",
     )
     parser.add_argument(
         "--jobs",

@@ -11,8 +11,10 @@ import os
 from dataclasses import dataclass, field
 
 from repro.core.privacy import gamma_from_rho
+from repro.data.backing import DATASET_BACKENDS
 from repro.exceptions import ExperimentError
 from repro.mining.kernels import COUNT_BACKENDS
+from repro.pipeline.executor import DISPATCH_MODES
 
 #: The paper's privacy requirement and its implied amplification bound.
 PAPER_RHO1 = 0.05
@@ -77,6 +79,16 @@ class ExperimentConfig:
     #: (per-subset ``bincount``).  Results are identical; see
     #: :mod:`repro.mining.kernels`.
     count_backend: str = "bitmap"
+    #: Dataset record-storage backend: ``"compact"`` (minimal cell
+    #: dtype from the schema cardinalities, the default) or ``"int64"``
+    #: (the legacy blanket 8-byte cells).  Values -- and therefore all
+    #: results -- are identical; only the memory footprint changes.
+    backend: str = "compact"
+    #: How multi-worker perturbation ships chunk data: ``"pickle"``
+    #: (per-chunk pipe copies) or ``"shm"`` (zero-copy shared-memory /
+    #: memmap spans).  Bit-identical outputs; see
+    #: :mod:`repro.pipeline.executor`.
+    dispatch: str = "pickle"
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self):
@@ -104,6 +116,14 @@ class ExperimentConfig:
             raise ExperimentError(
                 f"count_backend must be one of {COUNT_BACKENDS}, "
                 f"got {self.count_backend!r}"
+            )
+        if self.backend not in DATASET_BACKENDS:
+            raise ExperimentError(
+                f"backend must be one of {DATASET_BACKENDS}, got {self.backend!r}"
+            )
+        if self.dispatch not in DISPATCH_MODES:
+            raise ExperimentError(
+                f"dispatch must be one of {DISPATCH_MODES}, got {self.dispatch!r}"
             )
 
     def records_for(self, dataset_default: int) -> int:

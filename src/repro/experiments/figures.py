@@ -21,6 +21,7 @@ from repro.experiments.config import (
 from repro.experiments.orchestrator import (
     DatasetSpec,
     comparison_cells,
+    config_env,
     exact_cell,
     int_seed,
     mechanism_cell,
@@ -59,9 +60,7 @@ def figure3_error_cells(
     if alphas is None:
         alphas = np.linspace(0.0, 1.0, 6)
     spec = DatasetSpec.from_name(dataset_name, n_records)
-    exact = exact_cell(
-        spec, config.min_support, env={"count_backend": config.count_backend}
-    )
+    exact = exact_cell(spec, config.min_support, env=config_env(config))
     det = mechanism_cell(spec, "DET-GD", config, int_seed(config.seed), exact)
     ran_cells = {
         float(rel): mechanism_cell(

@@ -23,8 +23,9 @@ Cache keys
 ----------
 A cell's key hashes ``{"func", "params"}`` together with the
 :func:`~repro.store.code_fingerprint` of the library source.  Knobs
-that cannot change the numbers (``count_backend``, worker counts) live
-in :attr:`Cell.env` and stay *out* of the key; knobs that can (the
+that cannot change the numbers (``count_backend``, worker counts, the
+dataset storage ``backend``, the chunk ``dispatch`` mode) live in
+:attr:`Cell.env` and stay *out* of the key; knobs that can (the
 spawn-seeded chunk layout of a multi-worker perturbation) are
 normalised into ``params``.
 
@@ -98,10 +99,16 @@ class DatasetSpec:
             n_records = int(default_n * dataset_scale())
         return cls(key, int(n_records), default_seed if seed is None else int(seed))
 
-    def build(self):
-        """Generate the dataset this spec describes."""
+    def build(self, backend: str = "compact"):
+        """Generate the dataset this spec describes.
+
+        ``backend`` fixes the record-cell storage (``"compact"`` or
+        ``"int64"``); the generated values are identical either way,
+        which is why the backend lives in cell ``env``, not in the
+        cache key.
+        """
         _, _, generate, _ = _DATASET_DEFAULTS[self.name]
-        return generate(self.n_records, seed=self.seed)
+        return generate(self.n_records, seed=self.seed, backend=backend)
 
     def schema(self):
         """The dataset's schema (no data generation)."""
@@ -247,7 +254,9 @@ def _lengths_from_payload(series: dict) -> dict:
 def _compute_exact(params, deps, env):
     from repro.mining.reconstructing import mine_exact
 
-    dataset = DatasetSpec(**params["dataset"]).build()
+    dataset = DatasetSpec(**params["dataset"]).build(
+        backend=env.get("backend", "compact")
+    )
     result = mine_exact(
         dataset,
         params["min_support"],
@@ -263,7 +272,9 @@ def _decode_exact(payload, arrays):
 def _compute_mechanism(params, deps, env):
     from repro.experiments.runner import run_mechanism
 
-    dataset = DatasetSpec(**params["dataset"]).build()
+    dataset = DatasetSpec(**params["dataset"]).build(
+        backend=env.get("backend", "compact")
+    )
     config = ExperimentConfig(
         gamma=params["gamma"],
         min_support=params["min_support"],
@@ -273,6 +284,8 @@ def _compute_mechanism(params, deps, env):
         workers=env.get("workers", 1),
         chunk_size=env.get("chunk_size"),
         count_backend=env.get("count_backend", "bitmap"),
+        backend=env.get("backend", "compact"),
+        dispatch=env.get("dispatch", "pickle"),
     )
     run = run_mechanism(
         dataset,
@@ -388,6 +401,24 @@ def _pipeline_signature(mechanism: str, config: ExperimentConfig):
     return {"seeding": "spawn", "chunk_size": int(chunk)}
 
 
+def config_env(config: ExperimentConfig) -> dict:
+    """The result-invariant execution knobs of a config, as cell env.
+
+    Everything here is guaranteed (and tested) not to move any cell's
+    numbers: the support-counting kernel, the worker layout, the
+    dataset storage backend and the chunk-dispatch mode all produce
+    bit-identical results.  Keeping them out of the cache key means a
+    warm cache survives switching any of them.
+    """
+    return {
+        "count_backend": config.count_backend,
+        "workers": config.workers,
+        "chunk_size": config.chunk_size,
+        "backend": config.backend,
+        "dispatch": config.dispatch,
+    }
+
+
 def mechanism_cell(
     dataset: DatasetSpec,
     mechanism: str,
@@ -417,11 +448,7 @@ def mechanism_cell(
     pipeline = _pipeline_signature(name, config)
     if pipeline is not None:
         params["pipeline"] = pipeline
-    env = {
-        "count_backend": config.count_backend,
-        "workers": config.workers,
-        "chunk_size": config.chunk_size,
-    }
+    env = config_env(config)
     return Cell(
         name=f"mech:{name}:{dataset.name}:{_short_digest(params)}",
         func="mechanism",
@@ -439,8 +466,7 @@ def comparison_cells(dataset: DatasetSpec, config: ExperimentConfig):
     comparison loop hands it -- so cell-wise results match the direct
     path.
     """
-    env = {"count_backend": config.count_backend}
-    exact = exact_cell(dataset, config.min_support, env=env)
+    exact = exact_cell(dataset, config.min_support, env=config_env(config))
     cells = [exact]
     for index, mechanism in enumerate(config.mechanisms):
         cells.append(

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.data.backing import validate_in_domain
 from repro.data.dataset import CategoricalDataset
-from repro.data.schema import Schema
+from repro.data.schema import Schema, as_integer_array
 from repro.exceptions import DataError
 
 #: Bits per packed word.
@@ -110,8 +111,13 @@ class TransactionBitmaps:
     # ------------------------------------------------------------------
     @classmethod
     def from_records(cls, schema: Schema, records) -> "TransactionBitmaps":
-        """Pack an ``(N, M)`` category-index array (validated here)."""
-        records = np.asarray(records, dtype=np.int64)
+        """Pack an ``(N, M)`` category-index array (validated here).
+
+        Integer record arrays of any width are consumed as-is -- the
+        offset add that builds the scatter indices widens on its own,
+        so no up-front ``int64`` conversion copy is taken.
+        """
+        records = as_integer_array(records)
         if records.ndim != 2 or records.shape[1] != schema.n_attributes:
             raise DataError(
                 f"records must have shape (N, {schema.n_attributes}), "
@@ -120,9 +126,7 @@ class TransactionBitmaps:
         # Out-of-domain values would silently index a neighbouring
         # attribute's rows (the scatter is offset-based), so reject them
         # here exactly like CategoricalDataset does.
-        cards = np.asarray(schema.cardinalities, dtype=np.int64)
-        if records.size and (np.any(records < 0) or np.any(records >= cards)):
-            raise DataError("record value out of domain for this schema")
+        validate_in_domain(schema, records)
         n_records = records.shape[0]
         bit_rows = np.zeros((schema.n_boolean, n_records), dtype=np.uint8)
         if n_records:

@@ -120,13 +120,20 @@ class _GammaDiagonalMinerBase:
         return self.perturbation.perturb(dataset, seed=seed)
 
     def build_estimator(
-        self, dataset, seed=None, workers: int = 1, chunk_size=None
+        self,
+        dataset,
+        seed=None,
+        workers: int = 1,
+        chunk_size=None,
+        dispatch: str = "pickle",
     ):
         """Perturb and wrap in this mechanism's support estimator.
 
         ``dataset`` may also be a chunk iterable (e.g.
         :func:`repro.data.io.iter_csv_chunks`) when a pipeline option is
         set; the direct path requires a materialised dataset.
+        ``dispatch="shm"`` routes multi-worker runs through zero-copy
+        shared-memory block dispatch (bit-identical outputs).
 
         On the pipeline path the ``"bitmap"`` backend is applied only to
         materialised datasets (packed bitmaps are ~8x smaller than the
@@ -153,6 +160,7 @@ class _GammaDiagonalMinerBase:
             self.perturbation,
             chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
             workers=workers,
+            dispatch=dispatch,
         )
         if self.count_backend == "bitmap" and isinstance(
             dataset, CategoricalDataset
@@ -172,9 +180,14 @@ class _GammaDiagonalMinerBase:
         max_length=None,
         workers: int = 1,
         chunk_size=None,
+        dispatch: str = "pickle",
     ) -> AprioriResult:
         estimator = self.build_estimator(
-            dataset, seed=seed, workers=workers, chunk_size=chunk_size
+            dataset,
+            seed=seed,
+            workers=workers,
+            chunk_size=chunk_size,
+            dispatch=dispatch,
         )
         return apriori(estimator, self.schema, min_support, max_length)
 
@@ -186,10 +199,15 @@ class _GammaDiagonalMinerBase:
         seed=None,
         workers: int = 1,
         chunk_size=None,
+        dispatch: str = "pickle",
     ) -> AprioriResult:
         """Per-level evaluation protocol (see :func:`mine_per_level`)."""
         estimator = self.build_estimator(
-            dataset, seed=seed, workers=workers, chunk_size=chunk_size
+            dataset,
+            seed=seed,
+            workers=workers,
+            chunk_size=chunk_size,
+            dispatch=dispatch,
         )
         return mine_per_level(estimator, self.schema, min_support, true_result)
 

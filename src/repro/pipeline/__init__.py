@@ -19,7 +19,7 @@ vectors.  This package exploits both facts to turn the one-shot
 
 from repro.pipeline.accumulator import BitmapAccumulator, JointCountAccumulator
 from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE, iter_record_chunks
-from repro.pipeline.executor import PerturbationPipeline
+from repro.pipeline.executor import DISPATCH_MODES, PerturbationPipeline
 from repro.pipeline.streaming import (
     AccumulatedSupportEstimator,
     BitmapStreamSupportEstimator,
@@ -34,6 +34,7 @@ __all__ = [
     "BitmapAccumulator",
     "BitmapStreamSupportEstimator",
     "DEFAULT_CHUNK_SIZE",
+    "DISPATCH_MODES",
     "JointCountAccumulator",
     "PerturbationPipeline",
     "iter_record_chunks",

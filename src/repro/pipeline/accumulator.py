@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.dataset import CategoricalDataset
-from repro.data.schema import Schema
+from repro.data.schema import Schema, as_integer_array
 from repro.exceptions import DataError
 from repro.mining.kernels import TransactionBitmaps
 
@@ -50,12 +50,13 @@ class JointCountAccumulator:
     # ------------------------------------------------------------------
     def update(self, chunk) -> "JointCountAccumulator":
         """Fold one chunk: a dataset, an ``(m, M)`` record array, or a
-        1-D array of joint indices."""
+        1-D array of joint indices.  Compact integer dtypes are folded
+        without an ``int64`` conversion copy."""
         if isinstance(chunk, CategoricalDataset):
             if chunk.schema != self.schema:
                 raise DataError("chunk schema does not match the accumulator schema")
             return self.update_joint(chunk.joint_indices())
-        chunk = np.asarray(chunk, dtype=np.int64)
+        chunk = as_integer_array(chunk)
         if chunk.ndim == 1:
             return self.update_joint(chunk)
         if chunk.ndim == 2 and chunk.shape[1] == self.schema.n_attributes:
@@ -66,7 +67,7 @@ class JointCountAccumulator:
 
     def update_joint(self, joint_indices: np.ndarray) -> "JointCountAccumulator":
         """Fold a 1-D array of joint indices (the fast path)."""
-        joint_indices = np.asarray(joint_indices, dtype=np.int64)
+        joint_indices = as_integer_array(joint_indices)
         if joint_indices.size:
             if joint_indices.min() < 0 or joint_indices.max() >= self.schema.joint_size:
                 raise DataError("joint index out of range for this schema")

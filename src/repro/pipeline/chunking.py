@@ -1,12 +1,14 @@
 """Chunk iteration: normalising record sources into bounded batches.
 
 The pipeline accepts heterogeneous sources -- an in-memory
-:class:`~repro.data.dataset.CategoricalDataset`, a raw record array, or
-any iterable of datasets / record arrays (e.g.
-:func:`repro.data.io.iter_csv_chunks` over a file larger than memory).
-:func:`iter_record_chunks` flattens all of them into a single stream of
-``(m, M)`` record arrays with ``m <= chunk_size``, re-slicing oversized
-items so downstream stages have a hard per-chunk memory bound.
+:class:`~repro.data.dataset.CategoricalDataset`, a raw record array, a
+memory-mapped :class:`~repro.data.io.FrdDataset`, or any iterable of
+datasets / record arrays (e.g. :func:`repro.data.io.iter_csv_chunks`
+over a file larger than memory).  :func:`iter_record_chunks` flattens
+all of them into a single stream of ``(m, M)`` record arrays with
+``m <= chunk_size``, re-slicing oversized items so downstream stages
+have a hard per-chunk memory bound.  Chunk dtypes are whatever the
+source stores (compact cells stay compact).
 """
 
 from __future__ import annotations
@@ -14,7 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.dataset import CategoricalDataset
-from repro.data.schema import Schema
+from repro.data.io import FrdDataset
+from repro.data.schema import Schema, as_integer_array
 from repro.exceptions import DataError
 
 #: Default batch size: large enough to amortise numpy dispatch, small
@@ -29,7 +32,7 @@ def _as_records(item, schema: Schema) -> np.ndarray:
         if item.schema != schema:
             raise DataError("chunk schema does not match the pipeline schema")
         return item.records
-    records = np.asarray(item, dtype=np.int64)
+    records = as_integer_array(item)
     if records.ndim != 2 or records.shape[1] != schema.n_attributes:
         raise DataError(
             f"record chunks must have shape (m, {schema.n_attributes}), "
@@ -49,6 +52,12 @@ def iter_record_chunks(source, schema: Schema, chunk_size: int = DEFAULT_CHUNK_S
     """
     if chunk_size < 1:
         raise DataError(f"chunk_size must be >= 1, got {chunk_size}")
+    if isinstance(source, FrdDataset):
+        # Memory-mapped source: spans are assembled straight from the
+        # file, chunk boundaries identical to the in-RAM layout.
+        if source.schema != schema:
+            raise DataError("chunk schema does not match the pipeline schema")
+        source = source.iter_chunks(chunk_size)
     if isinstance(source, (CategoricalDataset, np.ndarray)):
         source = (source,)
     for item in source:

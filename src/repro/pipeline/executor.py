@@ -28,16 +28,47 @@ Two seeding disciplines are offered (``seeding=``):
 ``workers == 1`` and ``"spawn"`` otherwise, i.e. single-worker runs
 reproduce the one-shot path exactly and multi-worker runs are
 reproducible across pool sizes.
+
+Dispatch modes
+--------------
+``dispatch=`` controls how chunk *data* reaches the workers:
+
+* ``"pickle"`` (default) -- each task carries its chunk through the
+  ``multiprocessing.Pool`` pipe, i.e. one pickle + two pipe copies per
+  chunk.  Works for any source, including unsized chunk iterables.
+* ``"shm"`` -- zero-copy block dispatch.  The source must be a *record
+  block* (a dataset, a raw record array, or a memory-mapped
+  :class:`~repro.data.io.FrdDataset`).  An in-RAM block is placed once
+  in ``multiprocessing.shared_memory`` at the schema's compact cell
+  dtype; an ``.frd`` block is not copied at all -- workers re-open the
+  memory map themselves.  Tasks then carry only a ``(start, stop)``
+  row span plus a seed, and each worker reads its records as a view of
+  the shared block.
+
+Both modes spawn per-chunk seed streams over the *same* chunk
+boundaries (``range(0, N, chunk_size)``), so for a fixed seed the
+outputs are bit-identical across dispatch modes and worker counts.
+With ``workers=1`` dispatch is moot (everything runs in-process) and
+the sequential-seeding guarantee above applies unchanged -- including
+over memory-mapped sources.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from collections import deque
+from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.data.backing import (
+    ArrayRecordBlock,
+    as_record_block,
+    record_dtype,
+    validate_in_domain,
+)
 from repro.data.dataset import CategoricalDataset
+from repro.data.io import FrdDataset, open_frd
 from repro.exceptions import DataError, ExperimentError
 from repro.mining.kernels import TransactionBitmaps
 from repro.pipeline.accumulator import BitmapAccumulator, JointCountAccumulator
@@ -46,16 +77,68 @@ from repro.stats.rng import as_generator, as_seed_sequence
 
 _SEEDINGS = ("auto", "sequential", "spawn")
 
+#: How chunk data crosses the process boundary (see module docstring).
+DISPATCH_MODES = ("pickle", "shm")
+
 #: Engine handed to each pool worker once at startup (via
 #: ``_init_worker``), so tasks carry only (chunk, seed) -- the engine
 #: (and any state it caches lazily, like the dense sampler's CDF) is
 #: shipped and built per *worker*, not per chunk.
 _WORKER_ENGINE = None
 
+#: Record block attached by shm-dispatch workers at startup: a
+#: ``(block, shared_memory_handle_or_None)`` pair.  The handle is kept
+#: only to pin the mapping for the worker's lifetime.
+_WORKER_BLOCK = None
 
-def _init_worker(engine):
-    global _WORKER_ENGINE
+
+def _attach_block(schema, descriptor):
+    """Re-open a block descriptor inside a worker (or in-process).
+
+    Pool workers share the parent's resource tracker on every POSIX
+    start method (fork/forkserver inherit it; spawn receives the
+    tracker fd on the command line), and its registry is a set -- so
+    the attach-side re-registration is a no-op and the parent's
+    close-and-unlink remains the segment's single owner.  No
+    worker-side unregistration is needed (or safe: it would strip the
+    parent's only entry).
+    """
+    kind = descriptor[0]
+    if kind == "frd":
+        return open_frd(descriptor[1], schema=schema), None
+    _, name, shape, dtype_name = descriptor
+    shm = shared_memory.SharedMemory(name=name)
+    records = np.ndarray(shape, dtype=np.dtype(dtype_name), buffer=shm.buf)
+    records.setflags(write=False)
+    return ArrayRecordBlock(schema, records), shm
+
+
+def _export_block(schema, block):
+    """Publish a record block for worker access.
+
+    Returns ``(descriptor, owned_shm_or_None)``.  Memory-mapped blocks
+    export just their path; in-RAM blocks are copied *once* into a
+    shared-memory segment at the schema's compact cell dtype (the copy
+    is also the down-cast, validated when the source bytes were not).
+    """
+    if isinstance(block, FrdDataset):
+        return ("frd", str(block.path)), None
+    records = block.records(0, block.n_records)
+    dtype = record_dtype(schema)
+    if records.dtype != dtype:
+        validate_in_domain(schema, records)
+    nbytes = max(1, records.size * dtype.itemsize)
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    shared = np.ndarray(records.shape, dtype=dtype, buffer=shm.buf)
+    shared[...] = records
+    return ("shm", shm.name, records.shape, dtype.name), shm
+
+
+def _init_worker(engine, block_descriptor=None):
+    global _WORKER_ENGINE, _WORKER_BLOCK
     _WORKER_ENGINE = engine
+    if block_descriptor is not None:
+        _WORKER_BLOCK = _attach_block(engine.schema, block_descriptor)
 
 
 def _perturb_records(engine, task):
@@ -89,6 +172,31 @@ def _perturb_bitmaps(engine, task):
     return TransactionBitmaps.from_records(engine.schema, perturbed)
 
 
+def _span_records(engine, block, task):
+    """Span-task sibling of :func:`_perturb_records` (shm dispatch)."""
+    (start, stop), seed_seq = task
+    records = block.records(start, stop)
+    return _perturb_records(engine, (records, seed_seq))
+
+
+def _span_counts(engine, block, task):
+    """Span-task sibling of :func:`_perturb_counts` (shm dispatch).
+
+    The joint encode happens here, next to the data, instead of in the
+    parent -- with a pool that serial parent-side stage disappears.
+    """
+    (start, stop), seed_seq = task
+    joint = engine.schema.encode(block.records(start, stop))
+    return _perturb_counts(engine, (joint, seed_seq))
+
+
+def _span_bitmaps(engine, block, task):
+    """Span-task sibling of :func:`_perturb_bitmaps` (shm dispatch)."""
+    (start, stop), seed_seq = task
+    records = block.records(start, stop)
+    return _perturb_bitmaps(engine, (records, seed_seq))
+
+
 def _pool_records_task(task):
     return _perturb_records(_WORKER_ENGINE, task)
 
@@ -101,10 +209,25 @@ def _pool_bitmaps_task(task):
     return _perturb_bitmaps(_WORKER_ENGINE, task)
 
 
+def _pool_span_records_task(task):
+    return _span_records(_WORKER_ENGINE, _WORKER_BLOCK[0], task)
+
+
+def _pool_span_counts_task(task):
+    return _span_counts(_WORKER_ENGINE, _WORKER_BLOCK[0], task)
+
+
+def _pool_span_bitmaps_task(task):
+    return _span_bitmaps(_WORKER_ENGINE, _WORKER_BLOCK[0], task)
+
+
 _POOL_TASKS = {
     _perturb_records: _pool_records_task,
     _perturb_counts: _pool_counts_task,
     _perturb_bitmaps: _pool_bitmaps_task,
+    _span_records: _pool_span_records_task,
+    _span_counts: _pool_span_counts_task,
+    _span_bitmaps: _pool_span_bitmaps_task,
 }
 
 
@@ -123,6 +246,10 @@ class PerturbationPipeline:
     seeding:
         ``"auto"`` (default), ``"sequential"`` or ``"spawn"`` -- see the
         module docstring for the determinism contract.
+    dispatch:
+        ``"pickle"`` (default) or ``"shm"`` -- how chunk data reaches
+        the workers; see the module docstring.  ``"shm"`` with
+        ``workers > 1`` requires a record-block source.
     """
 
     def __init__(
@@ -131,6 +258,7 @@ class PerturbationPipeline:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         workers: int = 1,
         seeding: str = "auto",
+        dispatch: str = "pickle",
     ):
         for attr in ("schema", "perturb_chunk", "perturb_joint"):
             if not hasattr(engine, attr):
@@ -149,16 +277,36 @@ class PerturbationPipeline:
                 "sequential seeding threads one RNG stream through the chunks and "
                 "cannot be split across workers; use seeding='spawn' (or workers=1)"
             )
+        if dispatch not in DISPATCH_MODES:
+            raise ExperimentError(
+                f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}"
+            )
         self.engine = engine
         self.schema = engine.schema
         self.chunk_size = int(chunk_size)
         self.workers = int(workers)
         self.seeding = seeding
+        self.dispatch = dispatch
 
     def _effective_seeding(self) -> str:
         if self.seeding != "auto":
             return self.seeding
         return "sequential" if self.workers == 1 else "spawn"
+
+    def _block_dispatch(self) -> bool:
+        """Whether chunk data should travel as shared-block spans."""
+        return self.dispatch == "shm" and self.workers > 1
+
+    def _require_block(self, source):
+        """Resolve ``source`` into a record block or fail loudly."""
+        block = as_record_block(source, self.schema)
+        if block is None:
+            raise ExperimentError(
+                "dispatch='shm' needs a record-block source (a dataset, a "
+                "record array, or an open .frd dataset); unsized chunk "
+                "iterables can only use dispatch='pickle'"
+            )
+        return block
 
     # ------------------------------------------------------------------
     # execution strategies
@@ -175,22 +323,47 @@ class PerturbationPipeline:
         for chunk in chunks:
             yield chunk, root.spawn(1)[0]
 
-    def _map_spawn(self, work, tasks):
+    def _span_tasks(self, n_records, seed):
+        """Spawn-seeded ``(start, stop)`` spans over a block.
+
+        The spans are exactly the chunk boundaries
+        ``iter_record_chunks`` would produce for the same block, and the
+        seeds are spawned in the same order -- which is why shm and
+        pickle dispatch produce bit-identical chunk outputs.
+        """
+        root = as_seed_sequence(seed)
+        for start in range(0, n_records, self.chunk_size):
+            stop = min(start + self.chunk_size, n_records)
+            yield (start, stop), root.spawn(1)[0]
+
+    def _map_spawn(self, work, tasks, block=None):
         """Run spawn-seeded tasks, in order, serially or on a pool.
 
-        The engine is handed to each pool worker once at startup; tasks
-        carry only (chunk, seed).  The pool path keeps at most
+        The engine (and, for shm dispatch, the block descriptor) is
+        handed to each pool worker once at startup; tasks carry only
+        (chunk-or-span, seed).  The pool path keeps at most
         ``4 * workers`` chunks in flight, so streaming sources larger
-        than memory are never drained eagerly.
+        than memory are never drained eagerly.  Shared-memory segments
+        exported for the block live exactly as long as the pool.
         """
         if self.workers == 1:
+            if block is not None:
+                for task in tasks:
+                    yield work(self.engine, block, task)
+                return
             for task in tasks:
                 yield work(self.engine, task)
             return
-        pool = multiprocessing.Pool(
-            self.workers, initializer=_init_worker, initargs=(self.engine,)
-        )
+        pool, owned_shm = (None, None)
         try:
+            descriptor = None
+            if block is not None:
+                descriptor, owned_shm = _export_block(self.schema, block)
+            pool = multiprocessing.Pool(
+                self.workers,
+                initializer=_init_worker,
+                initargs=(self.engine, descriptor),
+            )
             pending = deque()
             pool_task = _POOL_TASKS[work]
             for task in tasks:
@@ -200,8 +373,15 @@ class PerturbationPipeline:
             while pending:
                 yield pending.popleft().get()
         finally:
-            pool.terminate()
-            pool.join()
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            if owned_shm is not None:
+                owned_shm.close()
+                try:
+                    owned_shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
 
     # ------------------------------------------------------------------
     # public API
@@ -211,9 +391,16 @@ class PerturbationPipeline:
 
         The fully streaming path: one chunk of input and one chunk of
         output are alive at a time.  ``source`` may be a dataset, a
-        record array, or an iterable of either (e.g. a CSV chunk
-        reader).
+        record array, an open ``.frd`` dataset, or an iterable of
+        datasets / record arrays (e.g. a CSV chunk reader).  Chunk
+        dtypes follow the source (compact in, compact out).
         """
+        if self._block_dispatch():
+            block = self._require_block(source)
+            yield from self._map_spawn(
+                _span_records, self._span_tasks(block.n_records, seed), block=block
+            )
+            return
         chunks = iter_record_chunks(source, self.schema, self.chunk_size)
         if self._effective_seeding() == "sequential":
             yield from self._map_sequential_stream(
@@ -234,8 +421,10 @@ class PerturbationPipeline:
             raise DataError("dataset schema does not match the perturbation schema")
         parts = list(self.perturb_stream(dataset, seed=seed))
         if not parts:
-            return CategoricalDataset(self.schema, dataset.records)
-        return CategoricalDataset(self.schema, np.concatenate(parts, axis=0))
+            return CategoricalDataset._trusted(self.schema, dataset.records)
+        return CategoricalDataset._trusted(
+            self.schema, np.concatenate(parts, axis=0)
+        )
 
     def accumulate(self, source, seed=None) -> JointCountAccumulator:
         """Perturb a stream and fold it straight into joint counts.
@@ -243,28 +432,37 @@ class PerturbationPipeline:
         Never materialises perturbed records beyond one chunk; with
         ``workers > 1`` each worker perturbs and bins its chunks in
         joint-index space and only count vectors return to the parent.
+        With ``dispatch="shm"`` the chunk *inputs* never cross the
+        process boundary either -- workers read spans of the shared (or
+        memory-mapped) block and encode them locally.
         """
         accumulator = JointCountAccumulator(self.schema)
-        chunks = (
-            self.schema.encode(records)
-            for records in iter_record_chunks(source, self.schema, self.chunk_size)
-        )
-        if self._effective_seeding() == "sequential":
-            results = self._map_sequential_stream(
-                chunks,
-                seed,
-                lambda joint, rng: (
-                    np.bincount(
-                        self.engine.perturb_joint(joint, rng),
-                        minlength=self.schema.joint_size,
-                    ),
-                    joint.shape[0],
-                ),
+        if self._block_dispatch():
+            block = self._require_block(source)
+            results = self._map_spawn(
+                _span_counts, self._span_tasks(block.n_records, seed), block=block
             )
         else:
-            results = self._map_spawn(
-                _perturb_counts, self._spawn_tasks(chunks, seed)
+            chunks = (
+                self.schema.encode(records)
+                for records in iter_record_chunks(source, self.schema, self.chunk_size)
             )
+            if self._effective_seeding() == "sequential":
+                results = self._map_sequential_stream(
+                    chunks,
+                    seed,
+                    lambda joint, rng: (
+                        np.bincount(
+                            self.engine.perturb_joint(joint, rng),
+                            minlength=self.schema.joint_size,
+                        ),
+                        joint.shape[0],
+                    ),
+                )
+            else:
+                results = self._map_spawn(
+                    _perturb_counts, self._spawn_tasks(chunks, seed)
+                )
         for counts, n_records in results:
             accumulator.update_counts(counts, n_records)
         return accumulator
@@ -283,19 +481,25 @@ class PerturbationPipeline:
         exactly for the same seed.
         """
         accumulator = BitmapAccumulator(self.schema)
-        chunks = iter_record_chunks(source, self.schema, self.chunk_size)
-        if self._effective_seeding() == "sequential":
-            results = self._map_sequential_stream(
-                chunks,
-                seed,
-                lambda records, rng: TransactionBitmaps.from_records(
-                    self.schema, self.engine.perturb_chunk(records, rng)
-                ),
+        if self._block_dispatch():
+            block = self._require_block(source)
+            results = self._map_spawn(
+                _span_bitmaps, self._span_tasks(block.n_records, seed), block=block
             )
         else:
-            results = self._map_spawn(
-                _perturb_bitmaps, self._spawn_tasks(chunks, seed)
-            )
+            chunks = iter_record_chunks(source, self.schema, self.chunk_size)
+            if self._effective_seeding() == "sequential":
+                results = self._map_sequential_stream(
+                    chunks,
+                    seed,
+                    lambda records, rng: TransactionBitmaps.from_records(
+                        self.schema, self.engine.perturb_chunk(records, rng)
+                    ),
+                )
+            else:
+                results = self._map_spawn(
+                    _perturb_bitmaps, self._spawn_tasks(chunks, seed)
+                )
         for bitmaps in results:
             accumulator.update_bitmaps(bitmaps)
         return accumulator

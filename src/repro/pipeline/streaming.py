@@ -138,9 +138,12 @@ def stream_perturbed_counts(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 1,
     seed=None,
+    dispatch: str = "pickle",
 ) -> JointCountAccumulator:
     """Perturb a record stream and return its accumulated joint counts."""
-    pipeline = PerturbationPipeline(engine, chunk_size=chunk_size, workers=workers)
+    pipeline = PerturbationPipeline(
+        engine, chunk_size=chunk_size, workers=workers, dispatch=dispatch
+    )
     return pipeline.accumulate(source, seed=seed)
 
 
@@ -150,9 +153,12 @@ def stream_perturbed_bitmaps(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 1,
     seed=None,
+    dispatch: str = "pickle",
 ) -> BitmapAccumulator:
     """Perturb a record stream into accumulated transaction bitmaps."""
-    pipeline = PerturbationPipeline(engine, chunk_size=chunk_size, workers=workers)
+    pipeline = PerturbationPipeline(
+        engine, chunk_size=chunk_size, workers=workers, dispatch=dispatch
+    )
     return pipeline.accumulate_bitmaps(source, seed=seed)
 
 
@@ -167,6 +173,7 @@ def mine_stream(
     seed=None,
     max_length=None,
     count_backend: str = "loops",
+    dispatch: str = "pickle",
 ) -> AprioriResult:
     """Privacy-preserving mining over a chunked record stream.
 
@@ -177,21 +184,34 @@ def mine_stream(
     ``count_backend`` picks the accumulated representation: ``"loops"``
     (default) folds joint counts -- peak memory is one chunk plus the
     ``(|S_U|,)`` count vector, so ``source`` may be arbitrarily large
-    (e.g. :func:`repro.data.io.iter_csv_chunks`); ``"bitmap"`` folds
-    packed transaction bitmaps -- ``O(N * M_b / 8)`` memory, with every
-    mining pass answered by the vectorized AND/popcount kernel.  Both
-    backends mine identical itemsets for the same seed.
+    (e.g. :func:`repro.data.io.iter_csv_chunks` or an open ``.frd``
+    memory map); ``"bitmap"`` folds packed transaction bitmaps --
+    ``O(N * M_b / 8)`` memory, with every mining pass answered by the
+    vectorized AND/popcount kernel.  Both backends mine identical
+    itemsets for the same seed.  ``dispatch="shm"`` switches
+    multi-worker runs to zero-copy block dispatch (see
+    :class:`~repro.pipeline.executor.PerturbationPipeline`).
     """
     if engine is None:
         engine = GammaDiagonalPerturbation(schema, gamma)
     if validate_backend(count_backend) == "bitmap":
         bitmap_accumulator = stream_perturbed_bitmaps(
-            source, engine, chunk_size=chunk_size, workers=workers, seed=seed
+            source,
+            engine,
+            chunk_size=chunk_size,
+            workers=workers,
+            seed=seed,
+            dispatch=dispatch,
         )
         estimator = BitmapStreamSupportEstimator(bitmap_accumulator, gamma)
     else:
         accumulator = stream_perturbed_counts(
-            source, engine, chunk_size=chunk_size, workers=workers, seed=seed
+            source,
+            engine,
+            chunk_size=chunk_size,
+            workers=workers,
+            seed=seed,
+            dispatch=dispatch,
         )
         estimator = AccumulatedSupportEstimator(accumulator, gamma)
     return apriori(estimator, schema, min_support, max_length)

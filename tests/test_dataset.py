@@ -69,6 +69,80 @@ class TestConstruction:
         assert "n_records=8" in repr(tiny_dataset)
 
 
+class TestConstructionCopies:
+    """The single-copy construction policy (and its zero-copy paths)."""
+
+    def test_readonly_array_adopted_without_copy(self, tiny_schema):
+        source = np.zeros((3, 2), dtype=np.int64)
+        source.setflags(write=False)
+        dataset = CategoricalDataset(tiny_schema, source)
+        assert np.shares_memory(dataset.records, source)
+
+    def test_readonly_view_of_writable_base_is_copied(self, tiny_schema):
+        base = np.zeros((3, 2), dtype=np.int64)
+        view = base.view()
+        view.setflags(write=False)
+        dataset = CategoricalDataset(tiny_schema, view)
+        base[0, 0] = 1  # must not reach the dataset through the alias
+        assert dataset.records[0, 0] == 0
+        assert not np.shares_memory(dataset.records, base)
+
+    def test_broadcast_view_is_copied(self, tiny_schema):
+        base = np.zeros((1, 2), dtype=np.int64)
+        wide = np.broadcast_to(base, (3, 2))
+        dataset = CategoricalDataset(tiny_schema, wide)
+        base[0, 0] = 1
+        assert dataset.records[0, 0] == 0
+
+    def test_integer_dtype_preserved(self, tiny_schema):
+        source = np.zeros((3, 2), dtype=np.uint8)
+        assert CategoricalDataset(tiny_schema, source).records.dtype == np.uint8
+        source64 = np.zeros((3, 2), dtype=np.int64)
+        assert CategoricalDataset(tiny_schema, source64).records.dtype == np.int64
+
+    def test_iter_chunks_shares_record_memory(self, tiny_dataset):
+        chunk = next(tiny_dataset.iter_chunks(4))
+        assert np.shares_memory(chunk.records, tiny_dataset.records)
+
+    def test_from_joint_indices_is_compact(self, tiny_dataset):
+        rebuilt = CategoricalDataset.from_joint_indices(
+            tiny_dataset.schema, tiny_dataset.joint_indices()
+        )
+        assert rebuilt == tiny_dataset
+        assert rebuilt.backend == "compact"
+
+
+class TestBackends:
+    def test_default_construction_reports_backend(self, tiny_dataset):
+        assert tiny_dataset.backend == "int64"  # built from a python list
+
+    def test_with_backend_roundtrip(self, tiny_dataset):
+        compact = tiny_dataset.with_backend("compact")
+        assert compact == tiny_dataset
+        assert compact.backend == "compact"
+        assert compact.records.dtype == np.uint8
+        assert compact.nbytes * 8 == tiny_dataset.nbytes
+        widened = compact.with_backend("int64")
+        assert widened == tiny_dataset
+        assert widened.records.dtype == np.int64
+
+    def test_with_backend_is_idempotent(self, tiny_dataset):
+        compact = tiny_dataset.with_backend("compact")
+        assert compact.with_backend("compact") is compact
+
+    def test_unknown_backend_rejected(self, tiny_dataset):
+        with pytest.raises(DataError):
+            tiny_dataset.with_backend("zstd")
+
+    def test_counting_views_identical_across_backends(self, tiny_dataset):
+        compact = tiny_dataset.with_backend("compact")
+        assert np.array_equal(compact.joint_counts(), tiny_dataset.joint_counts())
+        assert np.array_equal(
+            compact.subset_counts([1]), tiny_dataset.subset_counts([1])
+        )
+        assert compact.labels() == tiny_dataset.labels()
+
+
 class TestViews:
     def test_joint_indices(self, tiny_dataset):
         expected = tiny_dataset.schema.encode(tiny_dataset.records)

@@ -110,6 +110,56 @@ class TestCellKeys:
         loops = exact_cell(SPEC, 0.02, env={"count_backend": "loops"})
         assert orch.key_for(bitmap) == orch.key_for(loops)
 
+    def test_backend_and_dispatch_are_result_invariant_env(self):
+        """Cache-key sensitivity to ``backend``/``dispatch``: none.
+
+        The storage backend and the dispatch mode are bit-identity
+        transports (pinned by the pipeline/backing test suites), so
+        flipping them must *reuse* cached results, not fragment the
+        cache -- they ride in ``env`` and stay out of the key.
+        """
+        orch = Orchestrator(store=None, fingerprint="fp")
+        exact = exact_cell(SPEC, 0.02)
+        compact = mechanism_cell(
+            SPEC,
+            "DET-GD",
+            ExperimentConfig(seed=3, backend="compact", dispatch="pickle"),
+            int_seed(1),
+            exact,
+        )
+        int64 = mechanism_cell(
+            SPEC,
+            "DET-GD",
+            ExperimentConfig(seed=3, backend="int64", dispatch="shm"),
+            int_seed(1),
+            exact,
+        )
+        assert orch.key_for(compact) == orch.key_for(int64)
+        # ...but the knobs do reach the execution environment.
+        assert compact.env["backend"] == "compact"
+        assert int64.env["backend"] == "int64"
+        assert int64.env["dispatch"] == "shm"
+
+    def test_mechanism_results_identical_across_backends(self, tmp_path):
+        """The invariance the env placement relies on, end to end."""
+        exact = exact_cell(SPEC, 0.02, env={"backend": "compact"})
+        cell = mechanism_cell(
+            SPEC, "DET-GD", ExperimentConfig(seed=3), int_seed(1), exact
+        )
+        by_backend = {}
+        for backend in ("compact", "int64"):
+            env = dict(cell.env, backend=backend)
+            run = Cell(
+                name=cell.name,
+                func=cell.func,
+                params=cell.params,
+                deps=cell.deps,
+                env=env,
+            )
+            results = Orchestrator(store=None).run([exact, run])
+            by_backend[backend] = results[cell.name]
+        _series_equal(by_backend["compact"]["rho"], by_backend["int64"]["rho"])
+
     def test_irrelevant_knobs_do_not_fragment_keys(self):
         orch = Orchestrator(store=None, fingerprint="fp")
         exact = exact_cell(SPEC, 0.02)

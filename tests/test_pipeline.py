@@ -359,3 +359,137 @@ class TestMinerIntegration:
             ExperimentConfig(workers=0)
         with pytest.raises(ExperimentError):
             ExperimentConfig(chunk_size=0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(backend="parquet")
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(dispatch="carrier-pigeon")
+
+
+# ----------------------------------------------------------------------
+# zero-copy dispatch (shm / memmap)
+# ----------------------------------------------------------------------
+class TestShmDispatch:
+    """``dispatch="shm"`` must be a pure transport change: same chunk
+    boundaries, same spawned streams, bit-identical outputs."""
+
+    @pytest.fixture(scope="class")
+    def spawn_counts(self, census, det_engine):
+        """Reference: workers=1 spawn-seeded counts at chunk 2_048."""
+        pipeline = PerturbationPipeline(
+            det_engine, chunk_size=2_048, workers=1, seeding="spawn"
+        )
+        return pipeline.accumulate(census, seed=5).counts
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_shm_counts_bit_identical(self, census, det_engine, spawn_counts, workers):
+        pipeline = PerturbationPipeline(
+            det_engine, chunk_size=2_048, workers=workers, dispatch="shm"
+        )
+        assert np.array_equal(pipeline.accumulate(census, seed=5).counts, spawn_counts)
+
+    def test_shm_matches_pickle_dispatch(self, census, det_engine):
+        shm = PerturbationPipeline(
+            det_engine, chunk_size=2_048, workers=2, dispatch="shm"
+        )
+        pickled = PerturbationPipeline(det_engine, chunk_size=2_048, workers=2)
+        assert np.array_equal(
+            shm.accumulate(census, seed=5).counts,
+            pickled.accumulate(census, seed=5).counts,
+        )
+
+    def test_shm_perturb_records_identical(self, census, det_engine):
+        shm = PerturbationPipeline(
+            det_engine, chunk_size=2_048, workers=2, dispatch="shm"
+        )
+        pickled = PerturbationPipeline(det_engine, chunk_size=2_048, workers=2)
+        assert shm.perturb(census, seed=5) == pickled.perturb(census, seed=5)
+
+    def test_shm_bitmaps_identical(self, census, det_engine):
+        shm = PerturbationPipeline(
+            det_engine, chunk_size=2_048, workers=2, dispatch="shm"
+        )
+        pickled = PerturbationPipeline(det_engine, chunk_size=2_048, workers=2)
+        assert np.array_equal(
+            shm.accumulate_bitmaps(census, seed=5).bitmaps.words,
+            pickled.accumulate_bitmaps(census, seed=5).bitmaps.words,
+        )
+
+    def test_shm_accepts_raw_record_arrays(self, census, det_engine, spawn_counts):
+        pipeline = PerturbationPipeline(
+            det_engine, chunk_size=2_048, workers=2, dispatch="shm"
+        )
+        counts = pipeline.accumulate(census.records, seed=5).counts
+        assert np.array_equal(counts, spawn_counts)
+
+    def test_shm_rejects_unsized_iterables(self, census, det_engine):
+        pipeline = PerturbationPipeline(
+            det_engine, chunk_size=2_048, workers=2, dispatch="shm"
+        )
+        with pytest.raises(ExperimentError):
+            pipeline.accumulate(iter([census.records]), seed=5)
+
+    def test_invalid_dispatch_rejected(self, det_engine):
+        with pytest.raises(ExperimentError):
+            PerturbationPipeline(det_engine, dispatch="smoke-signals")
+
+    def test_workers1_shm_equals_one_shot(self, census, det_engine):
+        """With one worker dispatch is moot; the sequential guarantee
+        (bit-identical to ``engine.perturb``) must survive."""
+        pipeline = PerturbationPipeline(det_engine, chunk_size=2_048, dispatch="shm")
+        assert pipeline.perturb(census, seed=5) == det_engine.perturb(census, seed=5)
+
+
+class TestMemmapSource:
+    @pytest.fixture(scope="class")
+    def frd_path(self, census, tmp_path_factory):
+        from repro.data.io import save_frd
+
+        path = tmp_path_factory.mktemp("pipeline-frd") / "census.frd"
+        save_frd(census, path)
+        return path
+
+    def test_memmap_counts_equal_in_ram(self, census, det_engine, frd_path):
+        from repro.data.io import open_frd
+
+        for workers, dispatch in [(1, "pickle"), (2, "pickle"), (2, "shm")]:
+            seeding = "spawn" if workers == 1 else "auto"
+            in_ram = PerturbationPipeline(
+                det_engine,
+                chunk_size=2_048,
+                workers=workers,
+                seeding=seeding,
+                dispatch=dispatch,
+            ).accumulate(census, seed=5)
+            mapped = PerturbationPipeline(
+                det_engine,
+                chunk_size=2_048,
+                workers=workers,
+                seeding=seeding,
+                dispatch=dispatch,
+            ).accumulate(open_frd(frd_path), seed=5)
+            assert np.array_equal(in_ram.counts, mapped.counts)
+
+    def test_memmap_sequential_equals_one_shot(self, census, det_engine, frd_path):
+        from repro.data.io import open_frd
+
+        counts = (
+            PerturbationPipeline(det_engine, chunk_size=2_048)
+            .accumulate(open_frd(frd_path), seed=5)
+            .counts
+        )
+        assert np.array_equal(
+            counts, det_engine.perturb(census, seed=5).joint_counts()
+        )
+
+    def test_mine_stream_over_memmap(self, census, frd_path):
+        from repro.data.io import open_frd
+
+        direct = mine_stream(
+            census, census.schema, GAMMA, 0.02, chunk_size=2_048, seed=8
+        )
+        mapped = mine_stream(
+            open_frd(frd_path), census.schema, GAMMA, 0.02, chunk_size=2_048, seed=8
+        )
+        assert direct.by_length.keys() == mapped.by_length.keys()
+        for length, level in direct.by_length.items():
+            assert level == mapped.by_length[length]
