@@ -62,6 +62,14 @@ from repro.pipeline import (
     stream_perturbed_counts,
 )
 from repro.store import ResultStore, cache_key, code_fingerprint
+from repro.mechanisms import (
+    CompositeMechanism,
+    Mechanism,
+    MechanismSpec,
+    PrivacyAccountant,
+    PrivacyStatement,
+)
+from repro.mechanisms import register as register_mechanism
 from repro.mining import (
     AprioriResult,
     BitmapSupportCounter,
@@ -91,6 +99,7 @@ __all__ = [
     "BitmapStreamSupportEstimator",
     "BitmapSupportCounter",
     "CategoricalDataset",
+    "CompositeMechanism",
     "CutAndPasteMiner",
     "CutAndPastePerturbation",
     "DetGDMiner",
@@ -102,9 +111,13 @@ __all__ = [
     "JointCountAccumulator",
     "MaskMiner",
     "MaskPerturbation",
+    "Mechanism",
+    "MechanismSpec",
     "NaiveBayesClassifier",
     "PerturbationPipeline",
+    "PrivacyAccountant",
     "PrivacyRequirement",
+    "PrivacyStatement",
     "RanGDMiner",
     "RandomizedGammaDiagonal",
     "RandomizedGammaDiagonalPerturbation",
@@ -132,6 +145,7 @@ __all__ = [
     "open_frd",
     "reconstruct_counts",
     "reconstruct_stream",
+    "register_mechanism",
     "save_frd",
     "stream_perturbed_bitmaps",
     "stream_perturbed_counts",

@@ -1,0 +1,42 @@
+"""Canonical JSON-able forms, shared across layers.
+
+A single normalisation rule set used by every component that needs a
+deterministic, JSON-representable view of a parameter structure: the
+mechanism layer's :class:`~repro.mechanisms.MechanismSpec` (low in the
+stack) and the result store's cache keys (top of the stack).  Living in
+a dependency-free leaf keeps the layering invariant intact -- neither
+layer reaches into the other for its canonicaliser.
+
+Rules: dict keys must be strings and are (eventually) sorted, tuples
+become lists, floats must be finite (``repr`` round-tripping keeps
+``19.0`` distinct from ``19``), and only JSON-representable scalars are
+accepted -- anything else raises
+:class:`~repro.exceptions.ExperimentError` at canonicalisation time
+rather than aliasing silently later.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ExperimentError
+
+
+def canonicalise(obj):
+    """Recursively coerce ``obj`` into a canonical JSON-able form."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            raise ExperimentError(f"non-finite float {obj!r} cannot be cache-keyed")
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [canonicalise(item) for item in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise ExperimentError(f"cache-key dicts need string keys, got {key!r}")
+            out[key] = canonicalise(value)
+        return out
+    raise ExperimentError(
+        f"value {obj!r} of type {type(obj).__name__} cannot be cache-keyed"
+    )

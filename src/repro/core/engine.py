@@ -145,12 +145,40 @@ class GammaDiagonalPerturbation:
             self.schema, self.perturb_chunk(dataset.records, rng)
         )
 
+    #: Uniforms consumed per record by the vectorized sampler (keep
+    #: decision + replacement shift) -- the fixed-width invariant the
+    #: pipeline and composite mechanisms rely on.
+    uniform_width = 2
+
     def perturb_chunk(self, records: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Perturb a raw ``(m, M)`` record array, advancing ``rng``."""
         if self.method == "vectorized":
             diag = np.full(records.shape[0], self.matrix.diagonal)
             return _diagonal_or_other(self.schema, records, diag, rng)
         return self._perturb_sequential(records, rng)
+
+    def perturb_from_uniforms(self, records: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        """Perturb records from a pre-drawn ``(m, 2)`` uniform block.
+
+        The deterministic core of the vectorized sampler: feeding the
+        block ``rng.random((m, 2))`` reproduces :meth:`perturb_chunk`
+        exactly.  Composite mechanisms use this to slice one shared
+        uniform block across per-attribute parts.  The ``"sequential"``
+        method has no fixed-width form and raises.
+        """
+        if self.method != "vectorized":
+            raise MatrixError(
+                "perturb_from_uniforms requires the vectorized sampler"
+            )
+        if records.shape[0] == 0:
+            return records.copy()
+        joint = self.schema.encode(records)
+        return self.schema.decode(
+            _realise_diagonal_or_other(
+                joint, self.matrix.diagonal, self.schema.joint_size, draws
+            ),
+            dtype=records.dtype,
+        )
 
     def perturb_joint(self, joint: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Perturb raw joint indices, advancing ``rng``.
@@ -268,6 +296,10 @@ class RandomizedGammaDiagonalPerturbation:
             dtype=records.dtype,
         )
 
+    #: Uniforms consumed per record: ``r`` realisation, keep decision,
+    #: replacement shift.
+    uniform_width = 3
+
     def perturb_joint(self, joint: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Perturb raw joint indices, advancing ``rng``.
 
@@ -278,10 +310,27 @@ class RandomizedGammaDiagonalPerturbation:
         if joint.shape[0] == 0:
             return joint.copy()
         draws = rng.random((joint.shape[0], 3))
+        return self._joint_from_uniforms(joint, draws)
+
+    def _joint_from_uniforms(self, joint: np.ndarray, draws: np.ndarray) -> np.ndarray:
         r = (2.0 * draws[:, 0] - 1.0) * self.distribution.alpha
         diag = self.distribution.diagonal(r)
         return _realise_diagonal_or_other(
             joint, diag, self.schema.joint_size, draws[:, 1:]
+        )
+
+    def perturb_from_uniforms(self, records: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        """Perturb records from a pre-drawn ``(m, 3)`` uniform block.
+
+        Feeding ``rng.random((m, 3))`` reproduces :meth:`perturb_chunk`
+        exactly (same block, same layout); see
+        :meth:`GammaDiagonalPerturbation.perturb_from_uniforms`.
+        """
+        if records.shape[0] == 0:
+            return records.copy()
+        return self.schema.decode(
+            self._joint_from_uniforms(self.schema.encode(records), draws),
+            dtype=records.dtype,
         )
 
 

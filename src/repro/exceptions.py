@@ -43,3 +43,14 @@ class MiningError(FrappError):
 
 class ExperimentError(FrappError):
     """An experiment configuration is invalid or an experiment failed."""
+
+
+class UnknownMechanismError(ExperimentError, ValueError):
+    """An unregistered mechanism name (or spec) was requested.
+
+    Raised by the mechanism registry (:mod:`repro.mechanisms.registry`)
+    with a message listing the registered names.  Subclasses both
+    :class:`ExperimentError` and :class:`ValueError` so the historical
+    call sites -- the driver factory raised ``ValueError``, the
+    experiment runner ``ExperimentError`` -- keep catching it.
+    """

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.core.privacy import gamma_from_rho
 from repro.data.backing import DATASET_BACKENDS
 from repro.exceptions import ExperimentError
+from repro.mechanisms.registry import paper_mechanisms
 from repro.mining.kernels import COUNT_BACKENDS
 from repro.pipeline.executor import DISPATCH_MODES
 
@@ -27,8 +28,10 @@ PAPER_MIN_SUPPORT = 0.02
 #: RAN-GD randomization used in Figures 1-2: ``alpha = gamma*x/2``.
 PAPER_RELATIVE_ALPHA = 0.5
 
-#: The four mechanisms of the paper's comparison, in plot order.
-PAPER_MECHANISMS = ("DET-GD", "RAN-GD", "MASK", "C&P")
+#: The four mechanisms of the paper's comparison, in plot order --
+#: sourced from the mechanism registry's metadata, the single place
+#: display names and plot order live.
+PAPER_MECHANISMS = paper_mechanisms()
 
 
 def dataset_scale() -> float:

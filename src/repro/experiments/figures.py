@@ -27,8 +27,15 @@ from repro.experiments.orchestrator import (
     mechanism_cell,
 )
 from repro.experiments.runner import run_comparison, run_mechanism
+from repro.mechanisms.registry import display_name
 from repro.metrics.conditioning import condition_numbers_by_length
 from repro.mining.reconstructing import mine_exact
+
+#: Registry display names of the two gamma-diagonal engines -- the
+#: mechanisms Figure 3(b, c) sweeps (plot labels come from the registry
+#: metadata, not from string literals scattered per figure).
+_DET = display_name("det-gd")
+_RAN = display_name("ran-gd")
 
 
 def _dataset(name: str, n_records=None):
@@ -61,11 +68,11 @@ def figure3_error_cells(
         alphas = np.linspace(0.0, 1.0, 6)
     spec = DatasetSpec.from_name(dataset_name, n_records)
     exact = exact_cell(spec, config.min_support, env=config_env(config))
-    det = mechanism_cell(spec, "DET-GD", config, int_seed(config.seed), exact)
+    det = mechanism_cell(spec, _DET, config, int_seed(config.seed), exact)
     ran_cells = {
         float(rel): mechanism_cell(
             spec,
-            "RAN-GD",
+            _RAN,
             _ran_gd_config(config, float(rel)),
             int_seed(config.seed),
             exact,
@@ -179,23 +186,23 @@ def figure3_support_error(
         )
         results = orchestrator.run([exact, det, *ran_cells.values()])
         det_rho = results[det.name]["rho"].get(length, float("nan"))
-        series = {"RAN-GD": {}, "DET-GD": {}}
+        series = {_RAN: {}, _DET: {}}
         for rel, cell in ran_cells.items():
-            series["RAN-GD"][rel] = results[cell.name]["rho"].get(length, float("nan"))
-            series["DET-GD"][rel] = det_rho
+            series[_RAN][rel] = results[cell.name]["rho"].get(length, float("nan"))
+            series[_DET][rel] = det_rho
         return series
     dataset = _dataset(dataset_name, n_records)
     true_result = mine_exact(dataset, config.min_support)
-    det = run_mechanism(dataset, "DET-GD", config, true_result=true_result)
+    det = run_mechanism(dataset, _DET, config, true_result=true_result)
     det_rho = det.errors.rho.get(length, float("nan"))
-    series = {"RAN-GD": {}, "DET-GD": {}}
+    series = {_RAN: {}, _DET: {}}
     for rel in alphas:
         rel = float(rel)
         run = run_mechanism(
-            dataset, "RAN-GD", _ran_gd_config(config, rel), true_result=true_result
+            dataset, _RAN, _ran_gd_config(config, rel), true_result=true_result
         )
-        series["RAN-GD"][rel] = run.errors.rho.get(length, float("nan"))
-        series["DET-GD"][rel] = det_rho
+        series[_RAN][rel] = run.errors.rho.get(length, float("nan"))
+        series[_DET][rel] = det_rho
     return series
 
 

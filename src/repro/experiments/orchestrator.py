@@ -53,7 +53,9 @@ import numpy as np
 from repro.data.census import CENSUS_N_RECORDS, census_schema, generate_census
 from repro.data.health import HEALTH_N_RECORDS, generate_health, health_schema
 from repro.exceptions import ExperimentError
-from repro.experiments.config import ExperimentConfig, dataset_scale
+from repro.experiments.config import PAPER_GAMMA, ExperimentConfig, dataset_scale
+from repro.mechanisms import MechanismSpec
+from repro.mechanisms import registry as mechanism_registry
 from repro.mining.apriori import AprioriResult
 from repro.mining.itemsets import Itemset
 from repro.store import ResultStore, cache_key, canonical_json, code_fingerprint
@@ -275,8 +277,15 @@ def _compute_mechanism(params, deps, env):
     dataset = DatasetSpec(**params["dataset"]).build(
         backend=env.get("backend", "compact")
     )
+    mechanism = params["mechanism"]
+    if isinstance(mechanism, dict):
+        # Spec-built mechanisms are self-describing; the config only
+        # carries the protocol and execution knobs.
+        mechanism = MechanismSpec.from_dict(mechanism)
     config = ExperimentConfig(
-        gamma=params["gamma"],
+        # Spec-built mechanisms carry their own gammas and ignore this;
+        # the config-level default only exists for name-keyed cells.
+        gamma=params.get("gamma", PAPER_GAMMA),
         min_support=params["min_support"],
         relative_alpha=params.get("relative_alpha", 0.5),
         max_cut=params.get("max_cut", 3),
@@ -289,7 +298,7 @@ def _compute_mechanism(params, deps, env):
     )
     run = run_mechanism(
         dataset,
-        params["mechanism"],
+        mechanism,
         config,
         true_result=deps["exact"],
         seed=resolve_seed(params["seed"]),
@@ -383,15 +392,18 @@ def exact_cell(dataset: DatasetSpec, min_support: float, env=None) -> Cell:
     )
 
 
-def _pipeline_signature(mechanism: str, config: ExperimentConfig):
+def _pipeline_signature(mechanism, config: ExperimentConfig):
     """The results-affecting part of the pipeline execution knobs.
 
     ``workers == 1`` runs (chunked or not) are bit-identical to the
     one-shot path, so they normalise to ``None``; multi-worker runs
     spawn per-chunk streams, so their output is a function of the
-    chunk layout (see :mod:`repro.pipeline.executor`).
+    chunk layout (see :mod:`repro.pipeline.executor`).  Whether a
+    mechanism has a pipeline path at all is registry metadata
+    (``mechanism_registry.get(...).pipeline``).
     """
-    if mechanism.upper() not in ("DET-GD", "RAN-GD"):
+    name = mechanism.name if isinstance(mechanism, MechanismSpec) else mechanism
+    if not mechanism_registry.get(name).pipeline:
         return None
     if config.workers == 1:
         return None
@@ -421,36 +433,51 @@ def config_env(config: ExperimentConfig) -> dict:
 
 def mechanism_cell(
     dataset: DatasetSpec,
-    mechanism: str,
+    mechanism,
     config: ExperimentConfig,
     seed_spec: dict,
     exact: Cell,
 ) -> Cell:
     """One mechanism × dataset × parameterisation grid cell.
 
-    Only the knobs that can move this mechanism's numbers enter the
-    key: ``relative_alpha`` is RAN-GD-only, ``max_cut`` C&P-only, and
-    the execution layout only when it is results-affecting.
+    ``mechanism`` is a registered name or a
+    :class:`~repro.mechanisms.MechanismSpec`.  Named mechanisms key on
+    the config knobs that can move their numbers -- ``relative_alpha``
+    is RAN-GD-only, ``max_cut`` C&P-only -- exactly as before the
+    registry existed, so the four paper mechanisms' cache keys are
+    stable.  Spec mechanisms key on their *canonical spec*: every
+    parameter (e.g. one per-attribute gamma of a composite) is in the
+    key, so changing it invalidates exactly the affected cells.
     """
-    name = mechanism.upper()
-    params = {
-        "dataset": dataset.spec(),
-        "mechanism": name,
-        "gamma": config.gamma,
-        "min_support": config.min_support,
-        "protocol": config.protocol,
-        "seed": seed_spec,
-    }
-    if name == "RAN-GD":
-        params["relative_alpha"] = config.relative_alpha
-    if name == "C&P":
-        params["max_cut"] = config.max_cut
-    pipeline = _pipeline_signature(name, config)
+    if isinstance(mechanism, MechanismSpec):
+        label = mechanism_registry.display_name(mechanism.name)
+        params = {
+            "dataset": dataset.spec(),
+            "mechanism": mechanism.canonical(),
+            "min_support": config.min_support,
+            "protocol": config.protocol,
+            "seed": seed_spec,
+        }
+    else:
+        label = mechanism.upper()
+        params = {
+            "dataset": dataset.spec(),
+            "mechanism": label,
+            "gamma": config.gamma,
+            "min_support": config.min_support,
+            "protocol": config.protocol,
+            "seed": seed_spec,
+        }
+        if label == "RAN-GD":
+            params["relative_alpha"] = config.relative_alpha
+        if label == "C&P":
+            params["max_cut"] = config.max_cut
+    pipeline = _pipeline_signature(mechanism, config)
     if pipeline is not None:
         params["pipeline"] = pipeline
     env = config_env(config)
     return Cell(
-        name=f"mech:{name}:{dataset.name}:{_short_digest(params)}",
+        name=f"mech:{label}:{dataset.name}:{_short_digest(params)}",
         func="mechanism",
         params=params,
         deps=(exact.name,),
@@ -641,7 +668,10 @@ class Orchestrator:
         if dataset:
             meta["dataset"] = dataset["name"]
         if "mechanism" in cell.params:
-            meta["mechanism"] = cell.params["mechanism"]
+            mechanism = cell.params["mechanism"]
+            meta["mechanism"] = (
+                mechanism["name"] if isinstance(mechanism, dict) else mechanism
+            )
         return meta
 
     def _commit(self, cell: Cell, payload, arrays):

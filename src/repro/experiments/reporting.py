@@ -58,11 +58,80 @@ def render_schema_table(rows: list[tuple[str, tuple[str, ...]]]) -> str:
     return "\n".join(lines)
 
 
+def order_mechanism_rows(series: dict) -> dict:
+    """Reorder mechanism-keyed rows into the registry's plot order.
+
+    Display names and plot order live in the mechanism registry's
+    metadata (:func:`repro.mechanisms.registry.display_order`); this
+    re-sorts a ``{mechanism: ...}`` mapping accordingly so comparison
+    tables list mechanisms consistently no matter how the series was
+    assembled.  Names the registry does not know keep their relative
+    insertion order after the known ones.
+    """
+    from repro.mechanisms.registry import display_order
+
+    return {name: series[name] for name in display_order(series)}
+
+
 def render_figure_panels(panels: dict, x_label: str = "length") -> str:
-    """Render a multi-panel figure: ``{panel: {mechanism: {x: value}}}``."""
+    """Render a multi-panel figure: ``{panel: {mechanism: {x: value}}}``.
+
+    Mechanism rows are rendered in the registry's plot order (see
+    :func:`order_mechanism_rows`).
+    """
     blocks = []
     for panel, series in panels.items():
         blocks.append(f"[{panel}]")
-        blocks.append(render_series_table(series, x_label=x_label))
+        blocks.append(render_series_table(order_mechanism_rows(series), x_label=x_label))
         blocks.append("")
     return "\n".join(blocks).rstrip()
+
+
+def render_privacy_table(statements, requirement=None) -> str:
+    """Render privacy-accountant statements as a comparison table.
+
+    One row per :class:`~repro.mechanisms.PrivacyStatement`, in the
+    given order, with the amplification bound (``gamma``), the
+    worst-case posterior ceiling at the statement's ``rho1``, the
+    determinable-breach range for randomized mechanisms, the composite
+    product factors, and -- when a
+    :class:`~repro.core.privacy.PrivacyRequirement` is supplied -- an
+    ``admits`` verdict column.
+    """
+    header = ["mechanism", "gamma_bound", "rho2_bound"]
+    if requirement is not None:
+        header.append("admits")
+    header.append("notes")
+    rows = [header]
+    for statement in statements:
+        notes = []
+        if statement.factors is not None:
+            notes.append(
+                "product of "
+                + " x ".join(_format_value(f) for f in statement.factors)
+            )
+        if statement.posterior_range is not None:
+            lo, _, hi = statement.posterior_range
+            notes.append(
+                f"determinable breach in [{_format_value(lo)}, {_format_value(hi)}]"
+            )
+        row = [
+            statement.mechanism,
+            _format_value(statement.amplification),
+            _format_value(statement.rho2),
+        ]
+        if requirement is not None:
+            row.append("yes" if statement.admits(requirement) else "NO")
+        row.append("; ".join(notes) if notes else "-")
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(rows):
+        cells = [
+            cell.ljust(w) if j in (0, len(header) - 1) else cell.rjust(w)
+            for j, (cell, w) in enumerate(zip(row, widths))
+        ]
+        lines.append("  ".join(cells).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

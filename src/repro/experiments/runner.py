@@ -12,11 +12,13 @@ import time
 from dataclasses import dataclass
 
 from repro.data.dataset import CategoricalDataset
-from repro.exceptions import ExperimentError
 from repro.experiments.config import ExperimentConfig
+from repro.mechanisms import MechanismSpec, from_spec
+from repro.mechanisms import registry as mechanism_registry
+from repro.mechanisms.base import Mechanism
 from repro.metrics.accuracy import MiningErrors, evaluate_mining
 from repro.mining.apriori import AprioriResult
-from repro.mining.reconstructing import make_miner, mine_exact
+from repro.mining.reconstructing import MechanismMiner, make_miner, mine_exact
 from repro.stats.rng import spawn_generators
 
 
@@ -42,49 +44,64 @@ class MechanismRun:
     seconds: float
 
 
-def _build_miner(name: str, schema, config: ExperimentConfig):
-    key = name.upper()
-    if key == "RAN-GD":
-        return make_miner(
-            "ran-gd",
-            schema,
-            config.gamma,
-            relative_alpha=config.relative_alpha,
-            count_backend=config.count_backend,
-        )
-    if key == "C&P":
-        return make_miner(
-            "c&p",
-            schema,
-            config.gamma,
-            max_cut=config.max_cut,
-            count_backend=config.count_backend,
-        )
-    if key in ("DET-GD", "MASK"):
-        return make_miner(
-            key.lower(), schema, config.gamma, count_backend=config.count_backend
-        )
-    raise ExperimentError(f"unknown mechanism {name!r}")
+#: Per-mechanism config knobs forwarded when a mechanism is named by
+#: string (spec-built mechanisms carry their parameters themselves).
+_CONFIG_KWARGS = {
+    "ran-gd": lambda config: {"relative_alpha": config.relative_alpha},
+    "c&p": lambda config: {"max_cut": config.max_cut},
+}
+
+
+def _build_miner(mechanism, schema, config: ExperimentConfig) -> MechanismMiner:
+    """Resolve a mechanism reference into a driver.
+
+    ``mechanism`` may be a registered name (resolved through the
+    mechanism registry; unknown names raise
+    :class:`~repro.exceptions.UnknownMechanismError` listing what is
+    registered), a :class:`~repro.mechanisms.MechanismSpec` (or its
+    ``{"name", "params"}`` dict form), or a live
+    :class:`~repro.mechanisms.Mechanism`.
+    """
+    if isinstance(mechanism, Mechanism):
+        return MechanismMiner(mechanism)
+    if isinstance(mechanism, (MechanismSpec, dict)):
+        return MechanismMiner(from_spec(mechanism, schema))
+    entry = mechanism_registry.get(mechanism)
+    extra = _CONFIG_KWARGS.get(entry.key, lambda config: {})(config)
+    # count_backend is an execution knob, not a mechanism parameter:
+    # forward it only to factories that take it (the paper line-up
+    # does; warner / additive-noise / composites and most custom
+    # mechanisms have no counting pass of their own).
+    if mechanism_registry.factory_accepts(entry.factory, "count_backend"):
+        extra["count_backend"] = config.count_backend
+    return make_miner(entry.key, schema, config.gamma, **extra)
 
 
 def run_mechanism(
     dataset: CategoricalDataset,
-    mechanism: str,
+    mechanism,
     config: ExperimentConfig,
     true_result: AprioriResult | None = None,
     seed=None,
 ) -> MechanismRun:
-    """Perturb ``dataset`` with one mechanism, mine, and score."""
+    """Perturb ``dataset`` with one mechanism, mine, and score.
+
+    ``mechanism`` is a registered name, a
+    :class:`~repro.mechanisms.MechanismSpec` (self-describing
+    parameters, e.g. a per-attribute composite), or a live
+    :class:`~repro.mechanisms.Mechanism`.
+    """
     if true_result is None:
         true_result = mine_exact(
             dataset, config.min_support, count_backend=config.count_backend
         )
     miner = _build_miner(mechanism, dataset.schema, config)
     effective_seed = seed if seed is not None else config.seed
-    # Only the gamma-diagonal mechanisms have a chunked/multi-worker
-    # execution path; MASK and C&P always run direct.
+    # Only pipeline-capable mechanisms (the gamma-diagonal engines and
+    # columnar composites) have a chunked/multi-worker execution path;
+    # MASK and C&P always run direct.
     pipeline_kwargs = {}
-    if mechanism.upper() in ("DET-GD", "RAN-GD") and (
+    if miner.supports_pipeline and (
         config.workers != 1 or config.chunk_size is not None
     ):
         pipeline_kwargs = {

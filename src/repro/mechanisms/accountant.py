@@ -1,0 +1,153 @@
+"""The central privacy accountant (paper Sections 2 and 4.1, unified).
+
+Privacy guarantees used to be computed per call-site -- a gamma here,
+an ``operator.amplification()`` there, a posterior range somewhere
+else.  The accountant derives them uniformly for *any* registered
+mechanism from its protocol description:
+
+* the amplification bound (``mechanism.amplification()``; the product
+  bound for composites -- gamma multiplies across attributes, Section
+  5);
+* the implied worst-case posterior ``rho2`` for a prior ``rho1``
+  (paper Eq. 2 inverted);
+* the posterior *range* for randomized mechanisms (Section 4.1);
+* an optional empirical breach audit against a concrete data
+  distribution, for mechanisms whose dense matrix is materialisable
+  (:mod:`repro.core.breach`).
+
+``frapp privacy`` renders a statement per mechanism as a comparison
+table; library users call :meth:`PrivacyAccountant.statement` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.breach import audit_all_singletons
+from repro.core.privacy import PrivacyRequirement, rho2_from_gamma
+from repro.exceptions import PrivacyError
+from repro.mechanisms.base import Mechanism
+
+#: Largest joint-domain size the accountant will densify for audits.
+MAX_AUDIT_DOMAIN = 4096
+
+
+@dataclass(frozen=True)
+class PrivacyStatement:
+    """The accountant's verdict on one mechanism.
+
+    Attributes
+    ----------
+    mechanism:
+        Display name.
+    spec:
+        Canonical ``{"name", "params"}`` spec of the mechanism.
+    amplification:
+        The Eq.-2 bound ``gamma`` (``inf`` when unbounded).
+    rho1:
+        The prior the statement is evaluated at.
+    rho2:
+        Worst-case posterior ceiling ``rho2_from_gamma(rho1, gamma)``
+        (``1.0`` when the amplification is unbounded).
+    factors:
+        Per-part amplification bounds for composites (``None``
+        otherwise) -- the factors whose product is ``amplification``.
+    posterior_range:
+        ``(rho2(-alpha), rho2(0), rho2(+alpha))`` for randomized
+        mechanisms (``None`` for deterministic ones).
+    """
+
+    mechanism: str
+    spec: dict
+    amplification: float
+    rho1: float
+    rho2: float
+    factors: tuple[float, ...] | None = None
+    posterior_range: tuple[float, float, float] | None = None
+
+    def admits(self, requirement: PrivacyRequirement) -> bool:
+        """Whether the bound satisfies a ``(rho1, rho2)`` requirement."""
+        return self.amplification <= requirement.gamma * (1.0 + 1e-9)
+
+
+class PrivacyAccountant:
+    """Uniform (rho1, rho2) accounting over registered mechanisms.
+
+    Parameters
+    ----------
+    rho1:
+        The prior probability the statements are evaluated at; defaults
+        to the paper's 5%.
+    """
+
+    def __init__(self, rho1: float = 0.05):
+        if not 0.0 < rho1 < 1.0:
+            raise PrivacyError(f"rho1 must lie in (0, 1), got {rho1}")
+        self.rho1 = float(rho1)
+
+    # ------------------------------------------------------------------
+    def statement(self, mechanism: Mechanism) -> PrivacyStatement:
+        """Derive the privacy statement for one mechanism."""
+        gamma = float(mechanism.amplification())
+        if np.isfinite(gamma) and gamma > 1.0:
+            rho2 = rho2_from_gamma(self.rho1, gamma)
+        elif gamma <= 1.0:
+            # gamma = 1 is the uniform (information-free) matrix: the
+            # posterior can never move off the prior.
+            rho2 = self.rho1
+        else:
+            rho2 = 1.0
+        factors = None
+        if hasattr(mechanism, "amplification_factors"):
+            factors = tuple(float(f) for f in mechanism.amplification_factors())
+        posterior_range = None
+        if hasattr(mechanism, "posterior_range"):
+            lo, mid, hi = mechanism.posterior_range(self.rho1)
+            posterior_range = (float(lo), float(mid), float(hi))
+        return PrivacyStatement(
+            mechanism=mechanism.display,
+            spec=mechanism.spec().canonical(),
+            amplification=gamma,
+            rho1=self.rho1,
+            rho2=rho2,
+            factors=factors,
+            posterior_range=posterior_range,
+        )
+
+    def admits(self, mechanism: Mechanism, requirement: PrivacyRequirement) -> bool:
+        """Whether ``mechanism`` meets a ``(rho1, rho2)`` requirement."""
+        return self.statement(mechanism).admits(requirement)
+
+    def audit(self, mechanism: Mechanism, prior_distribution):
+        """Empirical singleton breach audit against a data distribution.
+
+        Materialises the mechanism's matrix and runs
+        :func:`repro.core.breach.audit_all_singletons` with the
+        mechanism's own amplification bound, certifying that no
+        posterior exceeds the Eq.-2 ceiling on this distribution.
+
+        Raises
+        ------
+        PrivacyError
+            If the mechanism has no dense matrix form, its domain is
+            too large to densify, or its amplification is unbounded.
+        """
+        gamma = float(mechanism.amplification())
+        if not np.isfinite(gamma) or gamma <= 1.0:
+            raise PrivacyError(
+                f"{mechanism.display}: amplification {gamma} admits no "
+                "meaningful breach ceiling to audit against"
+            )
+        if mechanism.schema.joint_size > MAX_AUDIT_DOMAIN:
+            raise PrivacyError(
+                f"joint domain of size {mechanism.schema.joint_size} is too "
+                f"large to audit (cap: {MAX_AUDIT_DOMAIN})"
+            )
+        matrix = mechanism.matrix()
+        if matrix is None:
+            raise PrivacyError(
+                f"{mechanism.display} has no dense joint-domain matrix to audit"
+            )
+        return audit_all_singletons(matrix, prior_distribution, gamma)

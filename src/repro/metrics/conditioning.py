@@ -72,10 +72,16 @@ def condition_numbers_by_length(
     det = {k: gamma_diagonal_condition_number(schema, gamma, k) for k in lengths}
     mask = {k: mask_condition_number(schema, gamma, k) for k in lengths}
     from repro.baselines.cut_and_paste import rho_for_gamma
+    from repro.mechanisms.registry import display_name
 
     rho = rho_for_gamma(gamma, schema.n_attributes, max_cut)
     cp = {
         k: cp_condition_number(schema, gamma, k, max_cut=max_cut, rho=rho)
         for k in lengths
     }
-    return {"DET-GD": det, "RAN-GD": dict(det), "MASK": mask, "C&P": cp}
+    return {
+        display_name("det-gd"): det,
+        display_name("ran-gd"): dict(det),
+        display_name("mask"): mask,
+        display_name("c&p"): cp,
+    }

@@ -1,15 +1,14 @@
-"""Privacy-preserving mining drivers (paper Sections 6-7).
+"""Privacy-preserving mining driver (paper Sections 6-7).
 
-Each driver bundles the full client/miner pipeline of one mechanism:
+One generic driver, :class:`MechanismMiner`, runs the full client/miner
+pipeline of *any* registered :class:`~repro.mechanisms.Mechanism`:
 perturb the dataset client-side, then mine the perturbed database with
 Apriori using the mechanism's support-reconstruction estimator.  The
-four drivers match the paper's experimental line-up:
-
-* :class:`DetGDMiner` -- DET-GD, the deterministic gamma-diagonal
-  matrix;
-* :class:`RanGDMiner` -- RAN-GD, the randomized gamma-diagonal matrix;
-* :class:`MaskMiner` -- MASK with the privacy-tight flip probability;
-* :class:`CutAndPasteMiner` -- C&P with privacy-constrained ``rho``.
+paper's four drivers survive as thin constructor shims
+(:class:`DetGDMiner`, :class:`RanGDMiner`, :class:`MaskMiner`,
+:class:`CutAndPasteMiner`) -- all mining logic lives once, in the
+generic driver, and the factory :func:`make_miner` resolves names
+through the mechanism registry (:mod:`repro.mechanisms.registry`).
 
 All drivers share the interface ``mine(dataset, min_support, seed)``
 returning an :class:`~repro.mining.apriori.AprioriResult` over
@@ -18,22 +17,12 @@ returning an :class:`~repro.mining.apriori.AprioriResult` over
 
 from __future__ import annotations
 
-from repro.baselines.cut_and_paste import CutAndPastePerturbation
-from repro.baselines.mask import MaskPerturbation
-from repro.core.engine import (
-    GammaDiagonalPerturbation,
-    RandomizedGammaDiagonalPerturbation,
-)
 from repro.data.dataset import CategoricalDataset
 from repro.data.schema import Schema
+from repro.mechanisms import registry as mechanism_registry
+from repro.mechanisms.base import Mechanism
 from repro.mining.apriori import AprioriResult, apriori
-from repro.mining.counting import (
-    CutAndPasteSupportEstimator,
-    ExactSupportCounter,
-    GammaDiagonalSupportEstimator,
-    MaskSupportEstimator,
-)
-from repro.mining.kernels import validate_backend
+from repro.mining.counting import ExactSupportCounter
 
 
 def mine_exact(
@@ -101,23 +90,54 @@ def mine_per_level(
     return result
 
 
-class _GammaDiagonalMinerBase:
-    """Shared driver logic for the two gamma-diagonal mechanisms.
+class MechanismMiner:
+    """The generic perturb-reconstruct-mine driver.
 
-    Both DET-GD and RAN-GD reconstruct with the deterministic matrix
-    (``E[Ã] = A``), so they share the estimator construction -- and the
-    optional chunked/multi-worker execution path: passing ``workers``
-    and/or ``chunk_size`` to ``build_estimator`` / ``mine`` /
-    ``mine_per_level`` routes perturbation through
-    :class:`repro.pipeline.PerturbationPipeline` and estimates supports
-    from accumulated joint counts instead of a materialised perturbed
-    dataset.  With ``workers=1`` the chunked estimates are bit-identical
+    Parameters
+    ----------
+    mechanism:
+        Any :class:`~repro.mechanisms.Mechanism` -- a registered
+        built-in, a :class:`~repro.mechanisms.CompositeMechanism`, or a
+        user-defined mechanism.  The driver delegates perturbation and
+        estimator construction to the mechanism and owns only the
+        mining protocol.
+
+    ``workers`` / ``chunk_size`` / ``dispatch`` on the mining methods
+    route perturbation through
+    :class:`repro.pipeline.PerturbationPipeline` for mechanisms with
+    ``supports_pipeline`` (the gamma-diagonal engines and every
+    columnar/composite mechanism); other mechanisms reject non-default
+    values.  With ``workers=1`` the chunked estimates are bit-identical
     to the direct path for the same seed (see DESIGN.md, "Scaling").
     """
 
-    def perturb(self, dataset: CategoricalDataset, seed=None) -> CategoricalDataset:
+    def __init__(self, mechanism: Mechanism):
+        self.mechanism = mechanism
+        self.schema = mechanism.schema
+
+    @property
+    def name(self) -> str:
+        """The mechanism's display name (``DET-GD``, ...)."""
+        return self.mechanism.display
+
+    @property
+    def gamma(self) -> float:
+        """The mechanism's amplification bound."""
+        return self.mechanism.amplification()
+
+    @property
+    def supports_pipeline(self) -> bool:
+        """Whether the chunked/multi-worker execution path exists."""
+        return self.mechanism.supports_pipeline
+
+    @property
+    def count_backend(self) -> str:
+        """The mechanism's observed-support counting backend (if any)."""
+        return getattr(self.mechanism, "count_backend", "loops")
+
+    def perturb(self, dataset: CategoricalDataset, seed=None):
         """Client-side step (exposed for inspection and reuse)."""
-        return self.perturbation.perturb(dataset, seed=seed)
+        return self.mechanism.perturb(dataset, seed=seed)
 
     def build_estimator(
         self,
@@ -127,49 +147,20 @@ class _GammaDiagonalMinerBase:
         chunk_size=None,
         dispatch: str = "pickle",
     ):
-        """Perturb and wrap in this mechanism's support estimator.
+        """Perturb and wrap in the mechanism's support estimator.
 
         ``dataset`` may also be a chunk iterable (e.g.
         :func:`repro.data.io.iter_csv_chunks`) when a pipeline option is
         set; the direct path requires a materialised dataset.
         ``dispatch="shm"`` routes multi-worker runs through zero-copy
         shared-memory block dispatch (bit-identical outputs).
-
-        On the pipeline path the ``"bitmap"`` backend is applied only to
-        materialised datasets (packed bitmaps are ~8x smaller than the
-        records, so memory stays bounded by the input); chunk iterables
-        of unknown extent always accumulate the ``O(|S_U|)`` joint-count
-        vector, preserving the larger-than-memory contract.  Use
-        :func:`repro.pipeline.mine_stream` with
-        ``count_backend="bitmap"`` to opt a stream into bitmaps
-        explicitly.
         """
-        if workers == 1 and chunk_size is None:
-            perturbed = self.perturb(dataset, seed=seed)
-            return GammaDiagonalSupportEstimator(
-                perturbed, self.gamma, count_backend=self.count_backend
-            )
-        from repro.pipeline import (
-            DEFAULT_CHUNK_SIZE,
-            AccumulatedSupportEstimator,
-            BitmapStreamSupportEstimator,
-            PerturbationPipeline,
-        )
-
-        pipeline = PerturbationPipeline(
-            self.perturbation,
-            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+        return self.mechanism.build_estimator(
+            dataset,
+            seed=seed,
             workers=workers,
+            chunk_size=chunk_size,
             dispatch=dispatch,
-        )
-        if self.count_backend == "bitmap" and isinstance(
-            dataset, CategoricalDataset
-        ):
-            return BitmapStreamSupportEstimator(
-                pipeline.accumulate_bitmaps(dataset, seed=seed), self.gamma
-            )
-        return AccumulatedSupportEstimator(
-            pipeline.accumulate(dataset, seed=seed), self.gamma
         )
 
     def mine(
@@ -182,6 +173,7 @@ class _GammaDiagonalMinerBase:
         chunk_size=None,
         dispatch: str = "pickle",
     ) -> AprioriResult:
+        """Perturb, then Apriori-mine over reconstructed supports."""
         estimator = self.build_estimator(
             dataset,
             seed=seed,
@@ -212,19 +204,30 @@ class _GammaDiagonalMinerBase:
         return mine_per_level(estimator, self.schema, min_support, true_result)
 
 
-class DetGDMiner(_GammaDiagonalMinerBase):
+class DetGDMiner(MechanismMiner):
     """DET-GD pipeline: gamma-diagonal perturbation + Eq.-28 estimates."""
 
     name = "DET-GD"
 
     def __init__(self, schema: Schema, gamma: float, count_backend: str = "bitmap"):
-        self.schema = schema
-        self.gamma = float(gamma)
-        self.count_backend = validate_backend(count_backend)
-        self.perturbation = GammaDiagonalPerturbation(schema, gamma)
+        from repro.mechanisms.builtin import GammaDiagonalMechanism
+
+        super().__init__(
+            GammaDiagonalMechanism(schema, gamma, count_backend=count_backend)
+        )
+
+    @property
+    def gamma(self) -> float:
+        """The amplification bound of the underlying matrix."""
+        return self.mechanism.gamma
+
+    @property
+    def perturbation(self):
+        """The wrapped perturbation engine (back-compat accessor)."""
+        return self.mechanism.engine
 
 
-class RanGDMiner(_GammaDiagonalMinerBase):
+class RanGDMiner(MechanismMiner):
     """RAN-GD pipeline: randomized matrices, reconstruction via ``E[Ã]``."""
 
     name = "RAN-GD"
@@ -236,65 +239,57 @@ class RanGDMiner(_GammaDiagonalMinerBase):
         relative_alpha: float = 0.5,
         count_backend: str = "bitmap",
     ):
-        self.schema = schema
-        self.gamma = float(gamma)
-        self.count_backend = validate_backend(count_backend)
-        self.perturbation = RandomizedGammaDiagonalPerturbation(
-            schema, gamma, relative_alpha=relative_alpha
+        from repro.mechanisms.builtin import RandomizedGammaDiagonalMechanism
+
+        super().__init__(
+            RandomizedGammaDiagonalMechanism(
+                schema, gamma, relative_alpha=relative_alpha, count_backend=count_backend
+            )
         )
+
+    @property
+    def gamma(self) -> float:
+        """The amplification bound of the expected matrix."""
+        return self.mechanism.gamma
 
     @property
     def alpha(self) -> float:
         """The randomization half-width of the RAN-GD family."""
-        return self.perturbation.alpha
+        return self.mechanism.alpha
+
+    @property
+    def perturbation(self):
+        """The wrapped perturbation engine (back-compat accessor)."""
+        return self.mechanism.engine
 
 
-class MaskMiner:
+class MaskMiner(MechanismMiner):
     """MASK pipeline: booleanize, flip, tensor-power reconstruction."""
 
     name = "MASK"
 
     def __init__(self, schema: Schema, gamma: float, count_backend: str = "bitmap"):
-        self.schema = schema
-        self.gamma = float(gamma)
-        self.count_backend = validate_backend(count_backend)
-        self.operator = MaskPerturbation.for_gamma(schema, gamma)
+        from repro.mechanisms.builtin import MaskMechanism
+
+        super().__init__(MaskMechanism(schema, gamma, count_backend=count_backend))
+
+    @property
+    def gamma(self) -> float:
+        """The configured amplification bound."""
+        return self.mechanism.gamma
 
     @property
     def p(self) -> float:
         """The privacy-tight bit-retention probability."""
-        return self.operator.p
+        return self.mechanism.p
 
-    def perturb(self, dataset: CategoricalDataset, seed=None):
-        """Returns the perturbed *boolean* matrix ``(N, M_b)``."""
-        return self.operator.perturb(dataset, seed=seed)
-
-    def build_estimator(self, dataset: CategoricalDataset, seed=None):
-        """Perturb and wrap in the MASK tensor-power estimator."""
-        perturbed_bits = self.perturb(dataset, seed=seed)
-        return MaskSupportEstimator(
-            self.schema,
-            perturbed_bits,
-            self.operator,
-            count_backend=self.count_backend,
-        )
-
-    def mine(
-        self, dataset: CategoricalDataset, min_support: float, seed=None, max_length=None
-    ) -> AprioriResult:
-        """Perturb, then Apriori-mine over reconstructed supports."""
-        estimator = self.build_estimator(dataset, seed=seed)
-        return apriori(estimator, self.schema, min_support, max_length)
-
-    def mine_per_level(
-        self, dataset: CategoricalDataset, min_support: float, true_result, seed=None
-    ) -> AprioriResult:
-        """Per-level evaluation protocol (see :func:`mine_per_level`)."""
-        estimator = self.build_estimator(dataset, seed=seed)
-        return mine_per_level(estimator, self.schema, min_support, true_result)
+    @property
+    def operator(self):
+        """The wrapped MASK operator (back-compat accessor)."""
+        return self.mechanism.operator
 
 
-class CutAndPasteMiner:
+class CutAndPasteMiner(MechanismMiner):
     """C&P pipeline: cut-and-paste operator, partial-support systems."""
 
     name = "C&P"
@@ -306,57 +301,58 @@ class CutAndPasteMiner:
         max_cut: int = 3,
         count_backend: str = "loops",
     ):
-        self.schema = schema
-        self.gamma = float(gamma)
-        # Accepted for interface uniformity; the partial-support system
-        # has no bitmap path (see CutAndPasteSupportEstimator).
-        self.count_backend = validate_backend(count_backend)
-        self.operator = CutAndPastePerturbation.for_gamma(schema, gamma, max_cut)
+        from repro.mechanisms.builtin import CutAndPasteMechanism
+
+        super().__init__(
+            CutAndPasteMechanism(
+                schema, gamma, max_cut=max_cut, count_backend=count_backend
+            )
+        )
+
+    @property
+    def gamma(self) -> float:
+        """The configured amplification bound."""
+        return self.mechanism.gamma
 
     @property
     def rho(self) -> float:
         """The privacy-constrained paste probability."""
-        return self.operator.rho
+        return self.mechanism.rho
 
-    def perturb(self, dataset: CategoricalDataset, seed=None):
-        """Returns the perturbed *boolean* matrix ``(N, M_b)``."""
-        return self.operator.perturb(dataset, seed=seed)
-
-    def build_estimator(self, dataset: CategoricalDataset, seed=None):
-        """Perturb and wrap in the C&P partial-support estimator."""
-        perturbed_bits = self.perturb(dataset, seed=seed)
-        return CutAndPasteSupportEstimator(self.schema, perturbed_bits, self.operator)
-
-    def mine(
-        self, dataset: CategoricalDataset, min_support: float, seed=None, max_length=None
-    ) -> AprioriResult:
-        """Perturb, then Apriori-mine over reconstructed supports."""
-        estimator = self.build_estimator(dataset, seed=seed)
-        return apriori(estimator, self.schema, min_support, max_length)
-
-    def mine_per_level(
-        self, dataset: CategoricalDataset, min_support: float, true_result, seed=None
-    ) -> AprioriResult:
-        """Per-level evaluation protocol (see :func:`mine_per_level`)."""
-        estimator = self.build_estimator(dataset, seed=seed)
-        return mine_per_level(estimator, self.schema, min_support, true_result)
+    @property
+    def operator(self):
+        """The wrapped C&P operator (back-compat accessor)."""
+        return self.mechanism.operator
 
 
-def make_miner(name: str, schema: Schema, gamma: float, **kwargs):
-    """Factory mapping the paper's mechanism names to driver instances.
+#: Back-compat driver shims by registry key (spec-built mechanisms and
+#: any other registered name get the generic driver directly).
+_DRIVER_SHIMS = {
+    "det-gd": DetGDMiner,
+    "ran-gd": RanGDMiner,
+    "mask": MaskMiner,
+    "c&p": CutAndPasteMiner,
+}
 
-    Accepted names (case-insensitive): ``det-gd``, ``ran-gd``,
-    ``mask``, ``c&p`` (also ``cp`` / ``cut-and-paste``).  All drivers
-    accept ``count_backend`` (``"bitmap"``/``"loops"``) for their
+
+def make_miner(name: str, schema: Schema, gamma: float, **kwargs) -> MechanismMiner:
+    """Factory mapping registered mechanism names to driver instances.
+
+    ``name`` is resolved through the mechanism registry
+    (case-insensitive; aliases like ``cp`` / ``cut-and-paste`` and
+    display names are accepted), so every mechanism registered with
+    :func:`repro.mechanisms.register` is constructible here.  Unknown
+    names raise :class:`~repro.exceptions.UnknownMechanismError`
+    listing the registered mechanisms.  All built-in drivers accept
+    ``count_backend`` (``"bitmap"``/``"loops"``) for their
     observed-support counting pass.
     """
-    key = name.lower().replace("_", "-")
-    if key == "det-gd":
-        return DetGDMiner(schema, gamma, **kwargs)
-    if key == "ran-gd":
-        return RanGDMiner(schema, gamma, **kwargs)
-    if key == "mask":
-        return MaskMiner(schema, gamma, **kwargs)
-    if key in ("c&p", "cp", "cut-and-paste"):
-        return CutAndPasteMiner(schema, gamma, **kwargs)
-    raise ValueError(f"unknown mechanism {name!r}")
+    entry = mechanism_registry.get(name)
+    shim = _DRIVER_SHIMS.get(entry.key)
+    if shim is not None:
+        return shim(schema, gamma, **kwargs)
+    # Mechanisms not parameterised by gamma (e.g. additive noise) skip
+    # it; factories with a **kwargs catch-all receive it.
+    if mechanism_registry.factory_accepts(entry.factory, "gamma"):
+        kwargs.setdefault("gamma", gamma)
+    return MechanismMiner(entry.create(schema, **kwargs))

@@ -28,29 +28,12 @@ from __future__ import annotations
 import hashlib
 import json
 
+from repro.canonical import canonicalise
 from repro.exceptions import ExperimentError
 
-
-def _canonicalise(obj):
-    """Recursively coerce ``obj`` into a canonical JSON-able form."""
-    if obj is None or isinstance(obj, (bool, int, str)):
-        return obj
-    if isinstance(obj, float):
-        if obj != obj or obj in (float("inf"), float("-inf")):
-            raise ExperimentError(f"non-finite float {obj!r} cannot be cache-keyed")
-        return obj
-    if isinstance(obj, (list, tuple)):
-        return [_canonicalise(item) for item in obj]
-    if isinstance(obj, dict):
-        out = {}
-        for key, value in obj.items():
-            if not isinstance(key, str):
-                raise ExperimentError(f"cache-key dicts need string keys, got {key!r}")
-            out[key] = _canonicalise(value)
-        return out
-    raise ExperimentError(
-        f"value {obj!r} of type {type(obj).__name__} cannot be cache-keyed"
-    )
+#: Back-compat alias -- the canonicaliser now lives in the shared leaf
+#: :mod:`repro.canonical` (mechanism specs use the same rules).
+_canonicalise = canonicalise
 
 
 def canonical_json(obj) -> str:

@@ -381,3 +381,110 @@ class TestHighLevelIntegration:
                 seed=None,
                 orchestrator=orchestrator,
             )
+
+
+class TestMechanismSpecCells:
+    """Cache-key canonicalisation of mechanism *specs* (registry era)."""
+
+    #: Pre-registry cache keys of the paper line-up (CENSUS, N=5000,
+    #: default config, spawn seeds, fingerprint "pinned-fingerprint"),
+    #: captured on main before the Mechanism refactor.  The refactor
+    #: must keep these byte-stable so warm caches survive it.
+    PINNED_LEGACY_KEYS = {
+        "exact:CENSUS:a064c974db": (
+            "1d82ccd63ee77ca94b355db987ac2f041f9869f247d472a39935d36f1c62a54d"
+        ),
+        "mech:DET-GD:CENSUS:12fb021181": (
+            "73140ba1a9b547cb22be4641995de4cda100423c028f4cfddc904ba41b74a864"
+        ),
+        "mech:RAN-GD:CENSUS:4e97d6bad9": (
+            "8f138bd790a419c91ca240bd9c3e2c85b67e5b0ba77396e79c7b2b6e84c8ee1a"
+        ),
+        "mech:MASK:CENSUS:b1237d4eec": (
+            "1a2e4de21b908fae90ff12f1fd69f16ea7c5e0ad1fd50b09ae68cd06b69a337a"
+        ),
+        "mech:C&P:CENSUS:49e7214254": (
+            "149a48c6de1df39693878da7b940d5fc06b2c337d4ef0d9eb8e634036b27b353"
+        ),
+    }
+
+    def _composite_spec(self, det_gamma=19.0, warner_p=0.9):
+        from repro.mechanisms import MechanismSpec
+
+        return MechanismSpec(
+            "composite",
+            {
+                "parts": [
+                    {
+                        "name": "det-gd",
+                        "n_attributes": 4,
+                        "params": {"gamma": det_gamma},
+                    },
+                    {"name": "warner", "n_attributes": 1, "params": {"p": warner_p}},
+                    {"name": "warner", "n_attributes": 1, "params": {"p": warner_p}},
+                ]
+            },
+        )
+
+    def test_legacy_paper_keys_pinned(self):
+        """The four paper mechanisms' keys are unchanged by the registry
+        refactor (warm caches keep hitting)."""
+        from repro.store import cache_key
+
+        spec = DatasetSpec.from_name("CENSUS", n_records=5000)
+        _, cells = comparison_cells(spec, ExperimentConfig())
+        observed = {
+            cell.name: cache_key(cell.key_spec(), "pinned-fingerprint")
+            for cell in cells
+        }
+        assert observed == self.PINNED_LEGACY_KEYS
+
+    def test_spec_cell_keys_canonicalise_parameters(self):
+        """A per-attribute gamma change inside a composite spec changes
+        the cell key; an identical spec reproduces it."""
+        orch = Orchestrator(store=None, fingerprint="fp")
+        exact = exact_cell(SPEC, 0.02)
+        base = mechanism_cell(
+            SPEC, self._composite_spec(), CONFIG, int_seed(1), exact
+        )
+        same = mechanism_cell(
+            SPEC, self._composite_spec(), CONFIG, int_seed(1), exact
+        )
+        tweaked = mechanism_cell(
+            SPEC, self._composite_spec(det_gamma=9.0), CONFIG, int_seed(1), exact
+        )
+        assert orch.key_for(base) == orch.key_for(same)
+        assert orch.key_for(base) != orch.key_for(tweaked)
+
+    def test_spec_cell_key_ignores_config_gamma(self):
+        """Spec mechanisms are self-describing: the config-level gamma
+        (which does not reach them) stays out of their key."""
+        orch = Orchestrator(store=None, fingerprint="fp")
+        exact = exact_cell(SPEC, 0.02)
+        spec = self._composite_spec()
+        one = mechanism_cell(
+            SPEC, spec, ExperimentConfig(seed=3, gamma=19.0), int_seed(1), exact
+        )
+        other = mechanism_cell(
+            SPEC, spec, ExperimentConfig(seed=3, gamma=9.0), int_seed(1), exact
+        )
+        assert orch.key_for(one) == orch.key_for(other)
+
+    def test_spec_cells_run_and_warm_hit(self, tmp_path):
+        """A composite spec cell computes through the orchestrator and a
+        second run is a pure store hit (zero mechanism runs)."""
+        store = ResultStore(tmp_path / "store")
+        spec = self._composite_spec()
+        config = ExperimentConfig(seed=3, min_support=0.05)
+        exact = exact_cell(SPEC, config.min_support)
+        cell = mechanism_cell(SPEC, spec, config, int_seed(7), exact)
+        cold = Orchestrator(store=store)
+        results = cold.run([exact, cell])
+        assert cold.stats.mechanism_runs == 1
+        assert results[cell.name]["mechanism"] == "DET-GD+WARNER+WARNER"
+
+        warm = Orchestrator(store=store)
+        warm_results = warm.run([exact, cell])
+        assert warm.stats.mechanism_runs == 0
+        assert warm.stats.hits == 2
+        assert warm_results[cell.name] == results[cell.name]

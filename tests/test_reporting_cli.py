@@ -155,3 +155,134 @@ class TestCliCache:
     def test_jobs_flag_parses(self, capsys):
         assert main(["table3", "--jobs", "2"]) == 0
         assert "2 computed" in capsys.readouterr().err
+
+
+class TestGoldenStdout:
+    """Byte-identical CLI output across the Mechanism-registry refactor.
+
+    The fixtures under tests/data/ were captured from ``main`` *before*
+    mechanisms were routed through the registry (same command lines);
+    the four paper mechanisms must reproduce them byte for byte.
+    """
+
+    @pytest.mark.parametrize(
+        "experiment, fixture",
+        [("fig1", "golden_fig1.txt"), ("fig2", "golden_fig2.txt")],
+    )
+    def test_figures_byte_identical(self, capsys, experiment, fixture, monkeypatch):
+        from pathlib import Path
+
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert (
+            main([experiment, "--records", "4000", "--seed", "11", "--no-cache"]) == 0
+        )
+        out = capsys.readouterr().out
+        golden = (Path(__file__).parent / "data" / fixture).read_text()
+        assert out == golden
+
+
+class TestPrivacyCommand:
+    def test_paper_lineup(self, capsys):
+        assert main(["privacy"]) == 0
+        out = capsys.readouterr().out
+        assert "Privacy accountant" in out
+        assert "[CENSUS]" in out and "[HEALTH]" in out
+        for name in ("DET-GD", "RAN-GD", "MASK", "C&P"):
+            assert name in out
+        # All four paper mechanisms admit the paper requirement.
+        assert "NO" not in out
+        assert "determinable breach" in out  # RAN-GD's posterior range
+
+    def test_composite_spec_reports_product_bound(self, capsys):
+        spec = (
+            '{"name":"composite","params":{"parts":['
+            '{"name":"det-gd","n_attributes":4,"params":{"gamma":19.0}},'
+            '{"name":"warner","n_attributes":1,"params":{"p":0.95}},'
+            '{"name":"warner","n_attributes":1,"params":{"p":0.95}}]}}'
+        )
+        assert main(["privacy", spec]) == 0
+        out = capsys.readouterr().out
+        assert "DET-GD+WARNER+WARNER" in out
+        assert "product of 19 x 19 x 19" in out
+        assert "6859" in out  # 19^3: gamma multiplies across attributes
+
+    def test_rejects_malformed_spec(self):
+        with pytest.raises(SystemExit):
+            main(["privacy", "{not json"])
+
+    def test_rejects_unknown_and_unbuildable_specs(self, capsys):
+        with pytest.raises(SystemExit, match="unknown mechanism"):
+            main(["privacy", '{"name":"nope","params":{}}'])
+        with pytest.raises(SystemExit, match="not a mechanism spec"):
+            main(["privacy", "[1, 2]"])
+        with pytest.raises(SystemExit, match="single binary attribute"):
+            main(["privacy", '{"name":"warner","params":{"p":0.9}}'])
+        # Factory-signature mismatches (typoed / missing parameters)
+        # exit cleanly too, not as raw TypeError tracebacks.
+        with pytest.raises(SystemExit, match="unexpected keyword"):
+            main(["privacy", '{"name":"det-gd","params":{"gama":19}}'])
+        with pytest.raises(SystemExit, match="missing 1 required"):
+            main(["privacy", '{"name":"additive-noise","params":{}}'])
+
+    def test_options_may_follow_spec_operands(self, capsys):
+        """Intermixed parsing: flags and JSON operands in either order."""
+        spec = '{"name":"composite","params":{"parts":[' \
+            '{"name":"det-gd","n_attributes":4,"params":{"gamma":19.0}},' \
+            '{"name":"warner","n_attributes":1,"params":{"p":0.95}},' \
+            '{"name":"warner","n_attributes":1,"params":{"p":0.95}}]}}'
+        assert main(["privacy", "--gamma", "19", spec]) == 0
+        assert "DET-GD+WARNER+WARNER" in capsys.readouterr().out
+
+    def test_render_privacy_table_admits_column(self):
+        from repro.core.privacy import PrivacyRequirement
+        from repro.experiments.reporting import render_privacy_table
+        from repro.mechanisms import PrivacyStatement
+
+        statements = [
+            PrivacyStatement(
+                mechanism="DET-GD",
+                spec={"name": "det-gd", "params": {"gamma": 19.0}},
+                amplification=19.0,
+                rho1=0.05,
+                rho2=0.5,
+            ),
+            PrivacyStatement(
+                mechanism="LEAKY",
+                spec={"name": "leaky", "params": {}},
+                amplification=float("inf"),
+                rho1=0.05,
+                rho2=1.0,
+            ),
+        ]
+        text = render_privacy_table(
+            statements, requirement=PrivacyRequirement(0.05, 0.50)
+        )
+        lines = text.splitlines()
+        assert "admits" in lines[0]
+        assert "yes" in text and "NO" in text and "inf" in text
+
+
+class TestMechanismRowOrder:
+    def test_order_mechanism_rows_uses_registry_metadata(self):
+        from repro.experiments.reporting import order_mechanism_rows
+
+        shuffled = {"MASK": 1, "DET-GD": 2, "C&P": 3, "RAN-GD": 4, "custom": 5}
+        assert list(order_mechanism_rows(shuffled)) == [
+            "DET-GD",
+            "RAN-GD",
+            "MASK",
+            "C&P",
+            "custom",
+        ]
+
+
+class TestPrivacyGammaTolerance:
+    def test_cli_gamma_19_keeps_admits_column(self, capsys):
+        """`--gamma 19` (the value the header displays) must produce the
+        same admits column as the float-exact PAPER_GAMMA default."""
+        assert main(["privacy"]) == 0
+        default_out = capsys.readouterr().out
+        assert main(["privacy", "--gamma", "19"]) == 0
+        explicit_out = capsys.readouterr().out
+        assert default_out == explicit_out
+        assert "admits" in explicit_out
