@@ -106,14 +106,21 @@ def estimate_subset_supports_batch(
             f"need full_size >= 2 and subset sizes >= 1, got "
             f"({full_size}, {subset_sizes.min() if subset_sizes.size else '-'})"
         )
-    if subset_sizes.size and np.any(full_size % subset_sizes != 0):
-        bad = int(subset_sizes[full_size % subset_sizes != 0][0])
-        raise MatrixError(
-            f"subset size {bad} does not divide the joint size {full_size}"
-        )
+    # ``full_size`` is an exact Python int and may exceed int64 on wide
+    # schemas; the divisibility check runs in Python-int arithmetic
+    # (numpy would overflow converting the scalar), the float closed
+    # form below is safe either way.
+    full_size = int(full_size)
+    if subset_sizes.size:
+        for size in np.unique(subset_sizes):
+            if full_size % int(size) != 0:
+                raise MatrixError(
+                    f"subset size {int(size)} does not divide the joint size "
+                    f"{full_size}"
+                )
     x = 1.0 / (gamma + full_size - 1.0)
     a = (gamma - 1.0) * x
-    b = (full_size / subset_sizes) * x
+    b = (float(full_size) / subset_sizes) * x
     return (observed - b) / a
 
 

@@ -13,6 +13,8 @@ same ordering the paper's Section 5 uses via its prefix products
 
 from __future__ import annotations
 
+import itertools
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -141,8 +143,15 @@ class Schema:
 
     @property
     def joint_size(self) -> int:
-        """``|S_U| = prod_j |S^j_U|`` -- size of the joint domain."""
-        return int(np.prod(self.cardinalities, dtype=np.int64))
+        """``|S_U| = prod_j |S^j_U|`` -- size of the joint domain.
+
+        Computed in exact Python-int arithmetic: wide schemas (50
+        binary/quaternary attributes easily exceed ``2**63``) would
+        silently overflow a fixed-width product, and the implicit
+        Kronecker layer relies on this value being exact to route them
+        away from joint-domain allocations.
+        """
+        return math.prod(self.cardinalities)
 
     @property
     def n_boolean(self) -> int:
@@ -158,13 +167,13 @@ class Schema:
 
     def prefix_products(self) -> tuple[int, ...]:
         """Paper Section 5's ``n_j = prod_{k <= j} |S^k_U|`` for each j."""
-        return tuple(np.cumprod(self.cardinalities, dtype=np.int64).tolist())
+        return tuple(itertools.accumulate(self.cardinalities, lambda x, y: x * y))
 
     def subset_size(self, positions) -> int:
         """``n_Cs = prod_{j in Cs} |S^j_U|`` for an attribute subset."""
         positions = self._validate_positions(positions)
         cards = self.cardinalities
-        return int(np.prod([cards[p] for p in positions], dtype=np.int64))
+        return math.prod(cards[p] for p in positions)
 
     def _validate_positions(self, positions) -> tuple[int, ...]:
         positions = tuple(int(p) for p in positions)

@@ -24,6 +24,24 @@ def _format_value(value) -> str:
     return str(value)
 
 
+def _format_bound(value) -> str:
+    """Format a privacy bound with a finite-width marker for ``inf``.
+
+    Mechanisms without a strict amplification guarantee (additive
+    noise, unmaterialisable composites with an unbounded part) report
+    ``inf``/``nan`` bounds; the privacy table prints ``unbounded`` /
+    ``-`` so nothing downstream has to arithmetic on the rendering.
+    Series tables keep :func:`_format_value`'s bare ``inf`` (condition
+    numbers legitimately diverge there).
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if math.isinf(value):
+            return "unbounded"
+    return _format_value(value)
+
+
 def render_series_table(series: dict, x_label: str = "length", sort_keys=True) -> str:
     """Render ``{row_name: {x: value}}`` as an aligned text table.
 
@@ -93,12 +111,16 @@ def render_privacy_table(statements, requirement=None) -> str:
     One row per :class:`~repro.mechanisms.PrivacyStatement`, in the
     given order, with the amplification bound (``gamma``), the
     worst-case posterior ceiling at the statement's ``rho1``, the
-    determinable-breach range for randomized mechanisms, the composite
-    product factors, and -- when a
-    :class:`~repro.core.privacy.PrivacyRequirement` is supplied -- an
-    ``admits`` verdict column.
+    reconstruction condition number (when the mechanism's matrix
+    description admits one -- including implicit Kronecker composites
+    whose joint matrix is never materialised), the determinable-breach
+    range for randomized mechanisms, the composite product factors, and
+    -- when a :class:`~repro.core.privacy.PrivacyRequirement` is
+    supplied -- an ``admits`` verdict column.  Unbounded values render
+    as the finite-width ``unbounded`` marker, never raw ``inf``/``nan``
+    (see :func:`_format_bound`).
     """
-    header = ["mechanism", "gamma_bound", "rho2_bound"]
+    header = ["mechanism", "gamma_bound", "rho2_bound", "cond"]
     if requirement is not None:
         header.append("admits")
     header.append("notes")
@@ -108,17 +130,18 @@ def render_privacy_table(statements, requirement=None) -> str:
         if statement.factors is not None:
             notes.append(
                 "product of "
-                + " x ".join(_format_value(f) for f in statement.factors)
+                + " x ".join(_format_bound(f) for f in statement.factors)
             )
         if statement.posterior_range is not None:
             lo, _, hi = statement.posterior_range
             notes.append(
-                f"determinable breach in [{_format_value(lo)}, {_format_value(hi)}]"
+                f"determinable breach in [{_format_bound(lo)}, {_format_bound(hi)}]"
             )
         row = [
             statement.mechanism,
-            _format_value(statement.amplification),
-            _format_value(statement.rho2),
+            _format_bound(statement.amplification),
+            _format_bound(statement.rho2),
+            _format_bound(getattr(statement, "condition_number", None)),
         ]
         if requirement is not None:
             row.append("yes" if statement.admits(requirement) else "NO")

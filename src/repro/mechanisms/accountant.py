@@ -27,8 +27,9 @@ import numpy as np
 
 from repro.core.breach import audit_all_singletons
 from repro.core.privacy import PrivacyRequirement, rho2_from_gamma
-from repro.exceptions import PrivacyError
+from repro.exceptions import FrappError, MatrixError, PrivacyError
 from repro.mechanisms.base import Mechanism
+from repro.stats.linalg import condition_number as dense_condition_number
 
 #: Largest joint-domain size the accountant will densify for audits.
 MAX_AUDIT_DOMAIN = 4096
@@ -57,6 +58,14 @@ class PrivacyStatement:
     posterior_range:
         ``(rho2(-alpha), rho2(0), rho2(+alpha))`` for randomized
         mechanisms (``None`` for deterministic ones).
+    condition_number:
+        Reconstruction condition number of the joint perturbation
+        matrix (the paper's accuracy proxy, Theorem 1) when the
+        mechanism's matrix description admits one -- computed through
+        closed forms or implicit Kronecker factors, so it is reported
+        even for composites whose joint matrix could never be
+        materialised.  ``None`` when no joint-domain matrix exists or
+        the matrix is not positive definite.
     """
 
     mechanism: str
@@ -66,6 +75,7 @@ class PrivacyStatement:
     rho2: float
     factors: tuple[float, ...] | None = None
     posterior_range: tuple[float, float, float] | None = None
+    condition_number: float | None = None
 
     def admits(self, requirement: PrivacyRequirement) -> bool:
         """Whether the bound satisfies a ``(rho1, rho2)`` requirement."""
@@ -114,7 +124,34 @@ class PrivacyAccountant:
             rho2=rho2,
             factors=factors,
             posterior_range=posterior_range,
+            condition_number=self._condition_number(mechanism),
         )
+
+    @staticmethod
+    def _condition_number(mechanism: Mechanism) -> float | None:
+        """Reconstruction condition number, when cheaply derivable.
+
+        Prefers the mechanism's structured operator view
+        (``matrix_operator``): closed-form families and Kronecker
+        operators answer in O(#factors) no matter how large the joint
+        domain.  Dense fallbacks are SVD-based and therefore capped at
+        :data:`MAX_AUDIT_DOMAIN`; mechanisms with no joint matrix (or a
+        non-positive-definite one) report ``None``.
+        """
+        try:
+            operator = mechanism.matrix_operator()
+        except FrappError:
+            return None
+        if operator is None:
+            return None
+        if isinstance(operator, np.ndarray):
+            if operator.shape[0] > MAX_AUDIT_DOMAIN:
+                return None
+            return float(dense_condition_number(operator))
+        try:
+            return float(operator.condition_number())
+        except MatrixError:
+            return None
 
     def admits(self, mechanism: Mechanism, requirement: PrivacyRequirement) -> bool:
         """Whether ``mechanism`` meets a ``(rho1, rho2)`` requirement."""
@@ -150,4 +187,8 @@ class PrivacyAccountant:
             raise PrivacyError(
                 f"{mechanism.display} has no dense joint-domain matrix to audit"
             )
+        if not isinstance(matrix, np.ndarray):
+            # Implicit operators (composites) densify here; the domain
+            # is already capped at MAX_AUDIT_DOMAIN above.
+            matrix = matrix.to_dense()
         return audit_all_singletons(matrix, prior_distribution, gamma)

@@ -36,6 +36,13 @@ from repro.data.schema import Schema
 from repro.exceptions import DataError, ExperimentError
 from repro.stats.rng import as_generator
 
+#: Largest joint-domain size the streaming path accumulates as a dense
+#: joint-count vector.  Beyond this the pipeline folds packed
+#: transaction bitmaps instead -- O(N * M_b / 8) memory, independent of
+#: the joint-domain size -- which is what lets 50-attribute composites
+#: stream through the same multi-worker machinery.
+MAX_JOINT_ACCUMULATION = 1 << 22
+
 
 def canonical_params(params: dict) -> dict:
     """Normalise a parameter dict into its canonical JSON-able form.
@@ -178,9 +185,25 @@ class Mechanism(abc.ABC):
         Returns ``None`` for mechanisms whose transition operates on a
         different representation (MASK / C&P perturb booleanized
         records); the accountant then reports the amplification bound
-        without an empirical posterior audit.
+        without an empirical posterior audit.  Composite mechanisms
+        return an implicit :class:`~repro.stats.KroneckerOperator`
+        instead of a dense array -- call ``.to_dense()`` explicitly for
+        small domains.
         """
         return None
+
+    def matrix_operator(self):
+        """Joint-domain matrix as a (possibly implicit) linear operator.
+
+        The structured view the accountant prefers: an object exposing
+        ``matvec`` / ``solve`` / ``condition_number`` / ``to_dense``
+        (e.g. a :class:`~repro.core.GammaDiagonalMatrix` or a
+        :class:`~repro.stats.KroneckerOperator`), a dense array, or
+        ``None``.  The default falls back to :meth:`matrix`; mechanisms
+        with closed-form structure override this so condition numbers
+        and solves never require densification.
+        """
+        return self.matrix()
 
     # ------------------------------------------------------------------
     # sampler + estimator
@@ -268,13 +291,29 @@ class ColumnarMechanism(Mechanism):
 
     @abc.abstractmethod
     def marginal_matrix(self, positions) -> np.ndarray:
-        """Dense induced transition matrix over an attribute subset.
+        """Induced transition matrix over an attribute subset.
 
         ``positions`` are strictly increasing attribute positions of
         :attr:`schema`; the matrix is indexed like
         :meth:`repro.data.schema.Schema.encode_subset` over those
         positions (row = perturbed sub-record, column = original).
+        Dense for the simple mechanisms; composites return an implicit
+        :class:`~repro.stats.KroneckerOperator` (``.to_dense()``
+        materialises it for small sub-domains).
         """
+
+    def marginal_operator(self, positions):
+        """Induced marginal as a (possibly implicit) linear operator.
+
+        What support reconstruction solves against: an object exposing
+        ``solve`` (closed-form ``a*I + b*J`` marginals, Kronecker
+        operators) or a dense array to pass to ``numpy.linalg.solve``.
+        The default falls back to :meth:`marginal_matrix`; mechanisms
+        with structured marginals override this so per-subset solves
+        stay O(sub-domain) instead of O(sub-domain^3) -- and so wide
+        composites never densify at all.
+        """
+        return self.marginal_matrix(positions)
 
     # ------------------------------------------------------------------
     # chunk protocol (derived)
@@ -336,7 +375,12 @@ class ColumnarMechanism(Mechanism):
         :class:`repro.pipeline.PerturbationPipeline` and answer the same
         subset-count queries from the accumulated joint counts -- the
         two sources agree exactly, so estimates only depend on the
-        perturbed records, not on the execution layout.
+        perturbed records, not on the execution layout.  Wide schemas
+        (joint domain beyond :data:`MAX_JOINT_ACCUMULATION`) accumulate
+        packed transaction bitmaps instead of the joint count vector:
+        subset counts come from AND/popcount over the itemset's
+        attribute rows, which answers the same queries exactly without
+        ever touching joint-domain indices.
         """
         if workers == 1 and chunk_size is None:
             perturbed = self.perturb(dataset, seed=seed)
@@ -351,6 +395,11 @@ class ColumnarMechanism(Mechanism):
             workers=workers,
             dispatch=dispatch,
         )
+        if self.schema.joint_size > MAX_JOINT_ACCUMULATION:
+            accumulator = pipeline.accumulate_bitmaps(dataset, seed=seed)
+            return MarginalInversionEstimator(
+                self, accumulator.bitmaps.subset_counts, accumulator.n_records
+            )
         accumulator = pipeline.accumulate(dataset, seed=seed)
         return MarginalInversionEstimator(
             self, accumulator.subset_counts, accumulator.n_records
@@ -363,11 +412,13 @@ class MarginalInversionEstimator:
     The generic estimator every :class:`ColumnarMechanism` gets for
     free: for each candidate itemset over attributes ``Cs``, count the
     perturbed sub-domain distribution, solve the mechanism's
-    ``marginal_matrix(Cs)`` system, and read off the itemset's cell.
+    ``marginal_operator(Cs)`` system, and read off the itemset's cell.
     For the pure gamma-diagonal mechanism this computes the same
     estimate as the Eq.-28 closed form (the closed form *is* this
-    inverse); for composites the matrix is the Kronecker product of the
-    parts' marginals.
+    inverse); for composites the operator is the Kronecker product of
+    the parts' marginals, solved factor by factor -- the sub-domain is
+    never densified, so 50-attribute schemas estimate in memory linear
+    in the number of parts.
 
     Parameters
     ----------
@@ -402,8 +453,11 @@ class MarginalInversionEstimator:
             solved = self._solved.get(attrs)
             if solved is None:
                 observed = np.asarray(self._subset_counts(attrs), dtype=float)
-                matrix = self.mechanism.marginal_matrix(attrs)
-                solved = np.linalg.solve(matrix, observed)
+                matrix = self.mechanism.marginal_operator(attrs)
+                if isinstance(matrix, np.ndarray):
+                    solved = np.linalg.solve(matrix, observed)
+                else:
+                    solved = matrix.solve(observed)
                 self._solved[attrs] = solved
             dims = [cards[a] for a in attrs]
             cell = int(np.ravel_multi_index(itemset.values, dims=dims))

@@ -41,6 +41,7 @@ from repro.exceptions import DataError, MatrixError
 from repro.mechanisms.base import ColumnarMechanism, Mechanism, MechanismSpec
 from repro.mechanisms.registry import register
 from repro.mining.kernels import validate_backend
+from repro.stats.kronecker import KroneckerOperator
 
 
 class GammaDiagonalMechanism(ColumnarMechanism):
@@ -88,12 +89,26 @@ class GammaDiagonalMechanism(ColumnarMechanism):
         """The dense gamma-diagonal matrix over the joint domain."""
         return self.engine.matrix.to_dense()
 
+    def matrix_operator(self):
+        """The closed-form gamma-diagonal matrix (never densified)."""
+        return self.engine.matrix
+
     def marginal_matrix(self, positions) -> np.ndarray:
         """Paper Eq. 28: the induced ``a*I + b*J`` marginal, densified."""
+        return self.marginal_operator(positions).to_dense()
+
+    def marginal_operator(self, positions):
+        """The Eq.-28 marginal in its ``a*I + b*J`` closed form.
+
+        O(1) to build and O(n_Cs) to solve regardless of the joint
+        size, which stays exact even when ``joint_size`` exceeds any
+        fixed-width integer (the Python-int arithmetic threads through
+        the float closed form).
+        """
         positions = self._validate_positions(positions)
         return gd_marginal_matrix(
             self.gamma, self.schema.joint_size, self.schema.subset_size(positions)
-        ).to_dense()
+        )
 
     # Exact engine delegation (parity with the pre-registry driver).
     def perturb(self, dataset: CategoricalDataset, seed=None) -> CategoricalDataset:
@@ -242,6 +257,10 @@ class RandomizedGammaDiagonalMechanism(GammaDiagonalMechanism):
     def matrix(self) -> np.ndarray:
         """The *expected* matrix ``E[Ã]`` (what the miner inverts)."""
         return self.engine.expected_matrix.to_dense()
+
+    def matrix_operator(self):
+        """The closed-form expected matrix ``E[Ã]`` (never densified)."""
+        return self.engine.expected_matrix
 
     def perturb_from_uniforms(self, records, draws):
         """Fixed-width (three-uniform) sampler for composite slicing."""
@@ -489,6 +508,10 @@ class AdditiveNoiseMechanism(ColumnarMechanism):
             result = np.kron(result, column)
         return result
 
+    def matrix_operator(self) -> KroneckerOperator:
+        """Implicit per-attribute Kronecker operator (wide-schema safe)."""
+        return KroneckerOperator(self._columns)
+
     def marginal_matrix(self, positions) -> np.ndarray:
         """Kronecker product over the selected attributes (independence)."""
         positions = self._validate_positions(positions)
@@ -496,6 +519,11 @@ class AdditiveNoiseMechanism(ColumnarMechanism):
         for position in positions[1:]:
             result = np.kron(result, self._columns[position])
         return result
+
+    def marginal_operator(self, positions) -> KroneckerOperator:
+        """Implicit Kronecker operator over the selected attributes."""
+        positions = self._validate_positions(positions)
+        return KroneckerOperator([self._columns[p] for p in positions])
 
     def perturb_from_uniforms(self, records: np.ndarray, draws: np.ndarray) -> np.ndarray:
         """Add, round and clip each column from its uniform slice."""

@@ -35,6 +35,7 @@ from repro.data.schema import Schema
 from repro.exceptions import ExperimentError
 from repro.mechanisms.base import ColumnarMechanism, MechanismSpec
 from repro.mechanisms.registry import register
+from repro.stats.kronecker import KroneckerOperator
 
 
 class CompositeMechanism(ColumnarMechanism):
@@ -151,30 +152,66 @@ class CompositeMechanism(ColumnarMechanism):
         """Per-part amplification bounds (the factors of the product)."""
         return tuple(part.amplification() for part in self.parts)
 
-    def matrix(self) -> np.ndarray:
-        """Kronecker product of the parts' joint matrices."""
-        result = None
-        for part in self.parts:
-            dense = part.matrix()
-            if dense is None:
-                raise ExperimentError(
-                    f"part {part.display!r} has no dense matrix form"
-                )
-            result = dense if result is None else np.kron(result, dense)
-        return result
+    def matrix(self) -> KroneckerOperator:
+        """Implicit Kronecker product of the parts' joint matrices.
 
-    def marginal_matrix(self, positions) -> np.ndarray:
-        """Kronecker product of each part's marginal over its share."""
+        Returned as a :class:`~repro.stats.KroneckerOperator` -- memory
+        is the *sum* of the part-matrix sizes, so wide composites can
+        describe joint domains far beyond anything materialisable.
+        ``.to_dense()`` recovers the old dense array (bit-identical to
+        the former ``np.kron`` left-fold) for small domains.
+        """
+        factors = []
+        for part in self.parts:
+            operator = part.matrix_operator()
+            if operator is None:
+                raise ExperimentError(
+                    f"part {part.display!r} has no joint-domain matrix form"
+                )
+            factors.append(operator)
+        return KroneckerOperator(factors)
+
+    def matrix_operator(self) -> KroneckerOperator:
+        """Same implicit operator as :meth:`matrix` (already matrix-free)."""
+        return self.matrix()
+
+    def marginal_matrix(self, positions) -> KroneckerOperator:
+        """Kronecker product of each part's marginal over its share.
+
+        ``positions`` must be strictly increasing (enforced by
+        ``_validate_positions``), so within-part indices and the
+        part-order factor fold agree: the result is indexed exactly
+        like :meth:`repro.data.schema.Schema.encode_subset` over
+        ``positions``.  Unsorted cross-part position lists -- whose
+        requested axis order would disagree with the factor order --
+        are rejected rather than silently reordered, and a subset that
+        intersects no part (impossible while the parts partition the
+        schema, but guarding subclasses) raises instead of returning
+        ``None``.
+        """
         positions = self._validate_positions(positions)
-        result = None
+        factors, covered = [], 0
         for part, start in zip(self.parts, self._starts):
             stop = start + part.schema.n_attributes
             local = [p - start for p in positions if start <= p < stop]
             if not local:
                 continue
-            dense = part.marginal_matrix(local)
-            result = dense if result is None else np.kron(result, dense)
-        return result
+            factors.append(part.marginal_operator(local))
+            covered += len(local)
+        if not factors:
+            raise ExperimentError(
+                f"positions {positions} intersect no part of this composite"
+            )
+        if covered != len(positions):
+            raise ExperimentError(
+                f"positions {positions} are not fully covered by the "
+                "composite's parts"
+            )
+        return KroneckerOperator(factors)
+
+    def marginal_operator(self, positions) -> KroneckerOperator:
+        """Same implicit operator as :meth:`marginal_matrix`."""
+        return self.marginal_matrix(positions)
 
     # ------------------------------------------------------------------
     # sampling

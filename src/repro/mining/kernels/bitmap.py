@@ -24,6 +24,8 @@ Two properties the counting layer relies on:
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.data.backing import validate_in_domain
@@ -220,6 +222,35 @@ class TransactionBitmaps:
     def itemset_count(self, itemset) -> int:
         """Number of records supporting ``itemset`` (exact)."""
         return int(popcount_words(self.itemset_words(itemset)))
+
+    def subset_counts(self, positions) -> np.ndarray:
+        """Exact counts over an attribute subset's sub-domain.
+
+        Indexed like :meth:`repro.data.schema.Schema.encode_subset`
+        over ``positions`` (C order, first position most significant),
+        so the result is interchangeable with
+        ``dataset.subset_counts(positions)`` and a
+        :class:`~repro.pipeline.JointCountAccumulator`'s -- but
+        computed purely from AND + popcount over the subset's item
+        rows, without ever encoding joint-domain indices.  That is
+        what lets wide-schema pipelines (joint domains beyond any
+        materialisable count vector) answer the same marginal queries.
+        """
+        positions = [int(p) for p in positions]
+        if not positions:
+            raise DataError("attribute subset must be non-empty")
+        if len(set(positions)) != len(positions):
+            raise DataError(f"duplicate attribute positions: {positions}")
+        for p in positions:
+            if not 0 <= p < len(self._cards):
+                raise DataError(f"attribute position {p} out of range")
+        cards = [self._cards[p] for p in positions]
+        counts = np.empty(int(np.prod(cards)), dtype=np.int64)
+        for cell, values in enumerate(itertools.product(*(range(c) for c in cards))):
+            rows = [self._offsets[p] + v for p, v in zip(positions, values)]
+            words = np.bitwise_and.reduce(self.words[rows], axis=0)
+            counts[cell] = popcount_words(words)
+        return counts
 
     def __repr__(self) -> str:
         return (

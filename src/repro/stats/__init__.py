@@ -8,9 +8,13 @@ Public contents:
 * :mod:`repro.stats.linalg` -- helpers for the ``a*I + b*J`` matrix
   family (the gamma-diagonal matrix and its marginals), Markov-matrix
   validation and condition numbers.
+* :mod:`repro.stats.kronecker` -- implicit Kronecker-product operators
+  (matvec / solve / condition number factor by factor), the layer that
+  keeps composite mechanisms matrix-free on wide schemas.
 * :mod:`repro.stats.rng` -- seeded random-generator plumbing.
 """
 
+from repro.stats.kronecker import KroneckerOperator
 from repro.stats.linalg import (
     UniformOffDiagonalMatrix,
     condition_number,
@@ -22,6 +26,7 @@ from repro.stats.poisson_binomial import PoissonBinomial
 from repro.stats.rng import as_generator, as_seed_sequence, spawn_generators
 
 __all__ = [
+    "KroneckerOperator",
     "PoissonBinomial",
     "UniformOffDiagonalMatrix",
     "as_generator",

@@ -130,21 +130,30 @@ class UniformOffDiagonalMatrix:
             return abs(lam1) <= atol
         return min(abs(lam1), abs(lam2)) <= atol
 
-    def condition_number(self) -> float:
+    def condition_number(self, atol: float = DEFAULT_ATOL) -> float:
         """``lambda_max / lambda_min`` via the closed-form eigenvalues.
 
         Requires a positive-definite matrix; raises
         :class:`MatrixError` otherwise (matching the paper, which only
-        states condition numbers for SPD matrices).
+        states condition numbers for SPD matrices).  ``atol`` is the
+        same singularity tolerance :meth:`is_singular`, :meth:`solve`
+        and :meth:`inverse` use: an eigenvalue within ``atol`` of zero
+        is treated as not positive definite, so a matrix that
+        :meth:`solve` rejects never reports a (meaningless, huge)
+        finite condition number.
         """
         lam1, lam2 = self.eigenvalues()
         if self.n == 1:
-            if lam1 <= 0:
-                raise MatrixError("matrix is not positive definite")
+            if lam1 <= atol:
+                raise MatrixError(
+                    f"matrix is not positive definite within atol={atol} "
+                    f"(eigenvalue {lam1})"
+                )
             return 1.0
-        if min(lam1, lam2) <= 0:
+        if min(lam1, lam2) <= atol:
             raise MatrixError(
-                f"matrix is not positive definite (eigenvalues {lam1}, {lam2})"
+                f"matrix is not positive definite within atol={atol} "
+                f"(eigenvalues {lam1}, {lam2})"
             )
         return max(lam1, lam2) / min(lam1, lam2)
 
@@ -162,22 +171,24 @@ class UniformOffDiagonalMatrix:
             raise MatrixError(f"expected vector of shape ({self.n},), got {vector.shape}")
         return self.a * vector + self.b * vector.sum()
 
-    def solve(self, rhs: np.ndarray) -> np.ndarray:
+    def solve(self, rhs: np.ndarray, atol: float = DEFAULT_ATOL) -> np.ndarray:
         """Solve ``M @ x = rhs`` in O(n) via the Sherman-Morrison form.
 
-        ``x = (rhs - b/(a + n*b) * sum(rhs)) / a``.
+        ``x = (rhs - b/(a + n*b) * sum(rhs)) / a``.  ``atol`` is the
+        singularity tolerance (shared with :meth:`is_singular`,
+        :meth:`inverse` and :meth:`condition_number`).
         """
         rhs = np.asarray(rhs, dtype=float)
         if rhs.shape != (self.n,):
             raise MatrixError(f"expected vector of shape ({self.n},), got {rhs.shape}")
-        if self.is_singular():
+        if self.is_singular(atol):
             raise MatrixError("matrix is singular; cannot solve")
         bulk = self.a + self.n * self.b
         return (rhs - (self.b / bulk) * rhs.sum()) / self.a
 
-    def inverse(self) -> "UniformOffDiagonalMatrix":
+    def inverse(self, atol: float = DEFAULT_ATOL) -> "UniformOffDiagonalMatrix":
         """Closed-form inverse, itself of ``a*I + b*J`` form."""
-        if self.is_singular():
+        if self.is_singular(atol):
             raise MatrixError("matrix is singular; no inverse")
         bulk = self.a + self.n * self.b
         return UniformOffDiagonalMatrix(

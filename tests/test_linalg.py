@@ -146,3 +146,53 @@ class TestUniformOffDiagonalMatrix:
             m.matvec(np.ones(4))
         with pytest.raises(MatrixError):
             m.solve(np.ones(2))
+
+
+class TestUniformOffDiagonalAtol:
+    """One atol threads through is_singular/solve/inverse/condition_number."""
+
+    def test_near_singular_solve_respects_atol(self):
+        # a = 1e-13 sits below the default 1e-9 tolerance: rejected by
+        # default, accepted when the caller loosens atol to exactly 0.
+        near = UniformOffDiagonalMatrix(n=4, a=1e-13, b=1.0)
+        with pytest.raises(MatrixError):
+            near.solve(np.ones(4))
+        x = near.solve(np.ones(4), atol=0.0)
+        assert np.all(np.isfinite(x))
+        # cond ~ 4e13, so the roundtrip only holds to ~cond * eps.
+        assert np.allclose(near.matvec(x), np.ones(4), atol=1e-2)
+
+    def test_near_singular_inverse_respects_atol(self):
+        near = UniformOffDiagonalMatrix(n=4, a=1e-13, b=1.0)
+        with pytest.raises(MatrixError):
+            near.inverse()
+        inv = near.inverse(atol=0.0)
+        assert np.isfinite(inv.a) and np.isfinite(inv.b)
+
+    def test_condition_number_boundary_matches_solve(self):
+        # The same matrix must never be "solvable but condition-less"
+        # (or vice versa) at one atol: both reject below, both accept
+        # above.
+        near = UniformOffDiagonalMatrix(n=4, a=1e-13, b=1.0)
+        with pytest.raises(MatrixError):
+            near.condition_number()
+        cond = near.condition_number(atol=0.0)
+        assert np.isfinite(cond) and cond >= 1.0
+
+    def test_eigenvalue_exactly_at_atol_rejected(self):
+        # Boundary semantics: <= atol counts as singular everywhere.
+        atol = 0.5
+        m = UniformOffDiagonalMatrix(n=3, a=atol, b=1.0)
+        assert m.is_singular(atol)
+        with pytest.raises(MatrixError):
+            m.solve(np.ones(3), atol=atol)
+        with pytest.raises(MatrixError):
+            m.inverse(atol=atol)
+        with pytest.raises(MatrixError):
+            m.condition_number(atol=atol)
+        assert not m.is_singular(atol=0.25)
+        assert np.isfinite(m.condition_number(atol=0.25))
+
+    def test_default_atol_unchanged_for_healthy_matrices(self):
+        m = UniformOffDiagonalMatrix(n=6, a=0.3, b=0.1)
+        assert m.condition_number() == m.condition_number(atol=0.0)

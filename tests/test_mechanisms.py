@@ -214,24 +214,27 @@ class TestCompositeStructure:
         expected = composite.parts[0].matrix()
         for part in composite.parts[1:]:
             expected = np.kron(expected, part.matrix())
-        assert np.allclose(composite.matrix(), expected, atol=1e-12)
+        # matrix() is an implicit operator; to_dense() recovers the
+        # np.kron fold bit for bit.
+        dense = composite.matrix().to_dense()
+        assert np.allclose(dense, expected, atol=1e-12)
         # Markov sanity and the product amplification bound.
-        assert np.allclose(composite.matrix().sum(axis=0), 1.0)
+        assert np.allclose(dense.sum(axis=0), 1.0)
         product = 1.0
         for part in composite.parts:
             product *= part.amplification()
         assert composite.amplification() == pytest.approx(product)
-        assert amplification(composite.matrix()) == pytest.approx(product)
+        assert amplification(dense) == pytest.approx(product)
 
     def test_grouped_parts_kron(self, warner_det_composite):
         """Multi-attribute parts compose the same way: Warner (2) x
         DET-GD over the 3x4 block (joint 12)."""
         warner, det = warner_det_composite.parts
         expected = np.kron(warner.matrix(), det.matrix())
-        assert np.allclose(warner_det_composite.matrix(), expected)
+        assert np.allclose(warner_det_composite.matrix().to_dense(), expected)
         assert warner_det_composite.marginal_matrix((0, 1, 2)).shape == (24, 24)
         assert np.allclose(
-            warner_det_composite.marginal_matrix((0, 1, 2)), expected
+            warner_det_composite.marginal_matrix((0, 1, 2)).to_dense(), expected
         )
 
     def test_marginal_matrix_cross_group(self, warner_det_composite):
@@ -240,7 +243,7 @@ class TestCompositeStructure:
         warner, det = warner_det_composite.parts
         cross = warner_det_composite.marginal_matrix((0, 2))
         expected = np.kron(warner.matrix(), det.marginal_matrix([1]))
-        assert np.allclose(cross, expected)
+        assert np.allclose(cross.to_dense(), expected)
 
     def test_marginal_positions_validated(self, warner_det_composite):
         with pytest.raises(ExperimentError):
@@ -261,7 +264,9 @@ class TestCompositeSampler:
         perturbed = warner_det_composite.perturb(dataset, seed=42)
         joint = mixed_schema.encode(perturbed.records)
         empirical = np.bincount(joint, minlength=mixed_schema.joint_size) / len(joint)
-        column = warner_det_composite.matrix()[:, mixed_schema.encode(origin)[0]]
+        column = warner_det_composite.matrix().to_dense()[
+            :, mixed_schema.encode(origin)[0]
+        ]
         assert np.abs(empirical - column).max() < 0.005
 
     def test_chunk_splittable(self, mixed_schema, warner_det_composite, rng):

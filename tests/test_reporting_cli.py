@@ -259,7 +259,38 @@ class TestPrivacyCommand:
         )
         lines = text.splitlines()
         assert "admits" in lines[0]
-        assert "yes" in text and "NO" in text and "inf" in text
+        assert "cond" in lines[0]
+        assert "yes" in text and "NO" in text
+        # Unbounded amplification renders as the finite-width marker,
+        # never as raw inf/nan (satellite: frapp privacy output hygiene).
+        assert "unbounded" in text
+        assert "inf" not in text and "nan" not in text
+
+    def test_render_privacy_table_nan_bound_renders_dash(self):
+        from repro.experiments.reporting import render_privacy_table
+        from repro.mechanisms import PrivacyStatement
+
+        statements = [
+            PrivacyStatement(
+                mechanism="ODD",
+                spec={"name": "odd", "params": {}},
+                amplification=float("nan"),
+                rho1=0.05,
+                rho2=float("nan"),
+            ),
+        ]
+        text = render_privacy_table(statements)
+        assert "nan" not in text and "inf" not in text
+
+    def test_cli_additive_noise_prints_unbounded_marker(self, capsys):
+        """`frapp privacy` on an unbounded mechanism never shows raw inf."""
+        spec = '{"name":"additive-noise","params":{"scale":1.0}}'
+        assert main(["privacy", spec]) == 0
+        out = capsys.readouterr().out
+        assert "ADD-NOISE" in out
+        assert "unbounded" in out
+        table = out.split("ADD-NOISE", 1)[1]
+        assert "inf" not in table and "nan" not in table
 
 
 class TestMechanismRowOrder:
