@@ -1,0 +1,179 @@
+"""Service daemon latency/throughput (DESIGN.md, "Service").
+
+Boots a real ``frapp serve`` subprocess on a random port and drives a
+paper-scale CENSUS population through it over HTTP:
+
+* ``submit`` -- the stateful path (micro-batch -> perturb -> spool ->
+  ledger ack), measured as end-to-end throughput plus per-request
+  latency percentiles (p50/p95/p99, recorded in ``extra_info`` and
+  gated by ``check_regression.py`` alongside the median);
+* ``perturb`` -- the stateless round-trip (records in, perturbed
+  records out, nothing retained).
+
+The submit benchmark ends with the service's core correctness claim:
+the spooled database is **bit-identical** to the offline
+``mechanism.perturb(dataset, seed)`` reproduced from the tenant's
+ledger alone, despite micro-batching and HTTP request slicing.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import connect
+from repro.data.census import generate_census
+from repro.data.io import FrdSpool
+from repro.experiments.config import dataset_scale
+from repro.mechanisms import MechanismSpec, from_spec
+from repro.service import LedgerStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Respondent population (1e6 at paper scale; $REPRO_SCALE shrinks it).
+N_RECORDS = max(5_000, int(1_000_000 * dataset_scale()))
+
+#: Records per HTTP request -- a realistic client-side upload chunk.
+REQUEST_RECORDS = 1_000
+
+SEED = 515151
+
+
+def _spawn_daemon(data_dir: str):
+    """Start ``frapp serve --port 0`` and return ``(proc, port)``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            "serve",
+            "--port",
+            "0",
+            "--data-dir",
+            data_dir,
+            "--seed",
+            str(SEED),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://[\w.\-]+:(\d+)", line)
+    if not match:
+        proc.terminate()
+        raise RuntimeError(f"no port announcement from frapp serve: {line!r}")
+    return proc, int(match.group(1))
+
+
+@pytest.fixture(scope="module")
+def population():
+    """The respondent records every benchmark submits."""
+    return generate_census(N_RECORDS, seed=99)
+
+
+@pytest.fixture()
+def daemon():
+    """A fresh daemon + data dir per benchmark (cold spools, cold ledger)."""
+    with tempfile.TemporaryDirectory(prefix="frapp-bench-") as data_dir:
+        proc, port = _spawn_daemon(data_dir)
+        try:
+            yield port, data_dir
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+
+def _percentiles(latencies: list[float]) -> dict[str, float]:
+    p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
+    return {
+        "latency_p50_ms": round(float(p50) * 1e3, 3),
+        "latency_p95_ms": round(float(p95) * 1e3, 3),
+        "latency_p99_ms": round(float(p99) * 1e3, 3),
+    }
+
+
+def test_service_submit_throughput(benchmark, population, daemon, report):
+    """End-to-end submit path: HTTP -> micro-batch -> perturb -> spool."""
+    port, data_dir = daemon
+    records = np.asarray(population.records)
+    latencies: list[float] = []
+
+    def drive():
+        with connect(port) as client:
+            for start in range(0, N_RECORDS, REQUEST_RECORDS):
+                chunk = records[start : start + REQUEST_RECORDS]
+                t0 = time.perf_counter()
+                response = client.submit("bench", chunk)
+                latencies.append(time.perf_counter() - t0)
+        return response
+
+    elapsed = time.perf_counter()
+    response = benchmark.pedantic(drive, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - elapsed
+    assert response["spooled"] == N_RECORDS
+
+    benchmark.extra_info.update(_percentiles(latencies))
+    throughput = N_RECORDS / elapsed
+    benchmark.extra_info["records_per_second"] = round(throughput, 1)
+
+    # The correctness claim behind the numbers: offline reproduction
+    # from the ledger alone is bit-identical to what was spooled.
+    record = LedgerStore(data_dir).load("bench").collections["default"]
+    mechanism = from_spec(
+        MechanismSpec.from_dict(record.statement.spec), population.schema
+    )
+    offline = mechanism.perturb(population, seed=record.seed)
+    with FrdSpool(
+        population.schema, Path(data_dir) / "bench" / "default.frd"
+    ) as spool:
+        spooled = spool.records(0, N_RECORDS)
+    np.testing.assert_array_equal(spooled, offline.records)
+
+    report(
+        "service_submit",
+        f"{N_RECORDS} records in {REQUEST_RECORDS}-record requests: "
+        f"{throughput:,.0f} rec/s, "
+        f"p50 {benchmark.extra_info['latency_p50_ms']:.1f} ms, "
+        f"p95 {benchmark.extra_info['latency_p95_ms']:.1f} ms, "
+        f"p99 {benchmark.extra_info['latency_p99_ms']:.1f} ms "
+        f"(spool bit-identical to offline perturbation)",
+    )
+
+
+def test_service_stateless_perturb(benchmark, population, daemon, report):
+    """Stateless round-trip: records in, perturbed records out."""
+    port, _ = daemon
+    records = np.asarray(population.records)[:REQUEST_RECORDS]
+    latencies: list[float] = []
+
+    def roundtrip():
+        with connect(port) as client:
+            for _ in range(20):
+                t0 = time.perf_counter()
+                response = client.perturb(records, seed=7)
+                latencies.append(time.perf_counter() - t0)
+        return response
+
+    response = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+    assert len(response["records"]) == REQUEST_RECORDS
+    benchmark.extra_info.update(_percentiles(latencies))
+    report(
+        "service_perturb",
+        f"stateless {REQUEST_RECORDS}-record round-trips: "
+        f"p50 {benchmark.extra_info['latency_p50_ms']:.1f} ms, "
+        f"p99 {benchmark.extra_info['latency_p99_ms']:.1f} ms",
+    )

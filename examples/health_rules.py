@@ -13,7 +13,7 @@ Run:  python examples/health_rules.py [n_records]
 
 import sys
 
-from repro import DetGDMiner, generate_health, mine_exact
+from repro import Session, generate_health, mine_exact
 from repro.mining import association_rules
 
 
@@ -38,8 +38,8 @@ def main() -> None:
     true_rules = association_rules(truth, min_confidence)
     show_rules("rules mined from the ORIGINAL database:", true_rules, schema)
 
-    miner = DetGDMiner(schema, gamma=19.0)
-    private = miner.mine(data, min_support, seed=3)
+    session = Session(schema, mechanism="det-gd", params={"gamma": 19.0})
+    private = session.mine(data, min_support, seed=3)
     private_rules = association_rules(private, min_confidence)
     show_rules(
         "\nrules mined from the PERTURBED database (gamma=19):",

@@ -1,18 +1,18 @@
 """Quickstart: perturb a database under strict privacy, then mine it.
 
-Walks the core FRAPP loop in a few lines:
+Walks the core FRAPP loop through the stable ``repro`` facade:
 
 1. pick a privacy requirement (rho1, rho2) -> amplification bound gamma;
-2. clients perturb their records with the gamma-diagonal matrix;
-3. the miner reconstructs frequent itemsets from the perturbed data;
+2. open a :class:`repro.Session` binding schema + mechanism + seed;
+3. mine frequent itemsets from the perturbed data with ``session.mine``;
 4. compare against mining the original data.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
-    DetGDMiner,
     PrivacyRequirement,
+    Session,
     evaluate_mining,
     generate_census,
     mine_exact,
@@ -29,10 +29,16 @@ def main() -> None:
     data = generate_census(n_records=25_000, seed=11)
     print(f"database: {data}")
 
-    # DET-GD = perturb with the optimal gamma-diagonal matrix, mine with
-    # Apriori + per-pass support reconstruction.
-    miner = DetGDMiner(data.schema, gamma=requirement.gamma)
-    mined = miner.mine(data, min_support=0.02, seed=12)
+    # One Session = schema + mechanism + seed.  DET-GD perturbs with the
+    # optimal gamma-diagonal matrix; mine() runs Apriori over per-pass
+    # reconstructed supports.
+    session = Session(
+        data.schema,
+        mechanism="det-gd",
+        params={"gamma": requirement.gamma},
+        seed=12,
+    )
+    mined = session.mine(data, min_support=0.02)
 
     # Reference: exact mining on the original data.
     truth = mine_exact(data, min_support=0.02)
@@ -53,13 +59,13 @@ def main() -> None:
         )
 
     # The privacy side: what the perturbation actually did.
-    perturbation = miner.perturbation
+    matrix = session.mechanism.matrix_operator()
     print(
         f"\nunder the hood: each record was kept with probability "
-        f"{perturbation.matrix.keep_probability:.4f} and otherwise replaced "
+        f"{matrix.keep_probability:.4f} and otherwise replaced "
         f"by a uniformly random record -- yet supports are recoverable, because "
         f"the reconstruction matrix has condition number "
-        f"{perturbation.matrix.condition_number():.1f} (the provable optimum)."
+        f"{matrix.condition_number():.1f} (the provable optimum)."
     )
 
 

@@ -9,17 +9,21 @@ and the full experiment harness for its tables and figures.
 
 Quickstart
 ----------
->>> from repro import (PrivacyRequirement, generate_census, DetGDMiner,
-...                    mine_exact)
->>> requirement = PrivacyRequirement(rho1=0.05, rho2=0.50)
->>> data = generate_census(5000, seed=1)
->>> miner = DetGDMiner(data.schema, gamma=requirement.gamma)
->>> result = miner.mine(data, min_support=0.02, seed=2)  # doctest: +SKIP
+>>> import repro
+>>> data = repro.generate_census(5000, seed=1)
+>>> session = repro.Session(data.schema, mechanism="det-gd", seed=2)
+>>> released = session.perturb(data)                     # doctest: +SKIP
+>>> result = session.mine(data, min_support=0.02)        # doctest: +SKIP
+
+The stable facade lives in :mod:`repro.api` (``Session``, ``perturb``,
+``reconstruct``, ``mine``, ``connect``) and is re-exported here; the
+rest of the package remains importable for lower-level control.
 
 See README.md for the full tour, DESIGN.md for the architecture, and
 EXPERIMENTS.md for paper-versus-measured results.
 """
 
+from repro.api import Session, connect, mine, perturb, reconstruct
 from repro.baselines import (
     AdditiveNoisePerturbation,
     CutAndPastePerturbation,
@@ -123,6 +127,7 @@ __all__ = [
     "RandomizedGammaDiagonalPerturbation",
     "ResultStore",
     "Schema",
+    "Session",
     "TransactionBitmaps",
     "WarnerRandomizedResponse",
     "__version__",
@@ -131,6 +136,7 @@ __all__ = [
     "cache_key",
     "census_schema",
     "code_fingerprint",
+    "connect",
     "design_mechanism",
     "evaluate_mining",
     "fpgrowth",
@@ -139,10 +145,13 @@ __all__ = [
     "generate_health",
     "health_schema",
     "make_miner",
+    "mine",
     "mine_exact",
     "mine_per_level",
     "mine_stream",
     "open_frd",
+    "perturb",
+    "reconstruct",
     "reconstruct_counts",
     "reconstruct_stream",
     "register_mechanism",

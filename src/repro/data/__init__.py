@@ -40,6 +40,7 @@ from repro.data.discretize import (
 from repro.data.health import generate_health, health_schema
 from repro.data.io import (
     FrdDataset,
+    FrdSpool,
     FrdWriter,
     iter_csv_chunks,
     load_csv,
@@ -57,6 +58,7 @@ __all__ = [
     "CategoricalDataset",
     "DATASET_BACKENDS",
     "FrdDataset",
+    "FrdSpool",
     "FrdWriter",
     "MixtureModel",
     "Prototype",

@@ -258,24 +258,17 @@ class FrdWriter:
         if self._closed:
             return
         self._closed = True
-        staging = self.path.parent / f"{self.path.name}.tmp"
         try:
             if not abort:
-                header, offsets = _frd_header_bytes(self.schema, self._n_records)
-                with staging.open("wb") as out:
-                    out.write(header)
-                    for j, spool in enumerate(self._spools):
-                        spool.flush()
-                        out.write(b"\x00" * (offsets[j] - out.tell()))
-                        with open(spool.name, "rb") as column:
-                            while True:
-                                block = column.read(1 << 20)
-                                if not block:
-                                    break
-                                out.write(block)
-                os.replace(staging, self.path)
+                for spool in self._spools:
+                    spool.flush()
+                _assemble_frd(
+                    self.path,
+                    self.schema,
+                    self._n_records,
+                    [Path(spool.name) for spool in self._spools],
+                )
         finally:
-            staging.unlink(missing_ok=True)
             for spool in self._spools:
                 spool.close()
                 Path(spool.name).unlink(missing_ok=True)
@@ -285,6 +278,204 @@ class FrdWriter:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close(abort=exc_type is not None)
+
+
+def _assemble_frd(path: Path, schema: Schema, n_records: int, columns) -> None:
+    """Assemble column files into one ``.frd`` at ``path``, atomically.
+
+    Shared by :meth:`FrdWriter.close` and :meth:`FrdSpool.checkpoint`:
+    the file is built in a ``.tmp`` sibling and ``os.replace``-d over
+    the target, so a crash mid-assembly never leaves a truncated file
+    with a valid header at ``path``.  ``columns`` are the per-attribute
+    cell files, in schema order; only the first ``n_records`` cells of
+    each are copied.
+    """
+    dtypes = column_dtypes(schema)
+    staging = path.parent / f"{path.name}.tmp"
+    try:
+        header, offsets = _frd_header_bytes(schema, n_records)
+        with staging.open("wb") as out:
+            out.write(header)
+            for j, column_path in enumerate(columns):
+                out.write(b"\x00" * (offsets[j] - out.tell()))
+                remaining = n_records * dtypes[j].itemsize
+                with open(column_path, "rb") as column:
+                    while remaining > 0:
+                        block = column.read(min(1 << 20, remaining))
+                        if not block:
+                            raise DataError(
+                                f"column file {column_path} is shorter than "
+                                f"{n_records} records"
+                            )
+                        out.write(block)
+                        remaining -= len(block)
+        os.replace(staging, path)
+    finally:
+        staging.unlink(missing_ok=True)
+
+
+class FrdSpool:
+    """Append-only, crash-recoverable ``.frd`` spool (the service's WAL).
+
+    The always-on perturbation service appends every accepted
+    submission batch to one spool per tenant collection.  The layout
+    reuses the columnar writer's per-attribute cell files -- one
+    ``<path>.colJ.spool`` per attribute, cells at the column's minimal
+    dtype -- but keeps them *persistent* and fsyncs them on every
+    append, so acknowledged records survive process crashes and power
+    loss.  :meth:`checkpoint` assembles the current contents into a
+    regular memory-mapped ``.frd`` at ``path`` (atomically, without
+    stopping appends).
+
+    Crash recovery
+    --------------
+    A crash mid-append can leave the per-column files with *unequal*
+    record counts (column 0 written, column 3 not yet).  On open, the
+    spool truncates every column to the **minimum complete record
+    count** across columns -- optionally capped by
+    ``expected_records``, the ledger's acknowledged count -- so the
+    surviving prefix is exactly the records whose append completed (and
+    was acknowledged), in order.  Together with the ledger's
+    acknowledge-after-fsync discipline this gives at-most-once
+    semantics: an unacknowledged torn tail is dropped, never half-kept.
+
+    The spool implements the pipeline's record-block protocol
+    (``schema`` / ``n_records`` / ``records(start, stop)``), so
+    estimators and miners read it like any dataset.
+    """
+
+    def __init__(self, schema: Schema, path, *, expected_records: int | None = None):
+        self.schema = schema
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._dtypes = column_dtypes(schema)
+        self._dtype = record_dtype(schema)
+        self._paths = [
+            self.path.parent / f"{self.path.name}.col{j}.spool"
+            for j in range(schema.n_attributes)
+        ]
+        self._n_records = self._recover(expected_records)
+        self._handles = [path.open("ab") for path in self._paths]
+        self._closed = False
+
+    def _recover(self, expected_records: int | None) -> int:
+        """Truncate columns to the common complete-record prefix."""
+        complete = []
+        for column_path, dtype in zip(self._paths, self._dtypes):
+            try:
+                size = column_path.stat().st_size
+            except FileNotFoundError:
+                size = 0
+                column_path.touch()
+            complete.append(size // dtype.itemsize)
+        n = min(complete)
+        if expected_records is not None:
+            n = min(n, int(expected_records))
+        for column_path, dtype in zip(self._paths, self._dtypes):
+            target = n * dtype.itemsize
+            if column_path.stat().st_size != target:
+                with column_path.open("r+b") as handle:
+                    handle.truncate(target)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        return n
+
+    @property
+    def n_records(self) -> int:
+        """Durable (recovered + appended) record count."""
+        return self._n_records
+
+    def __len__(self) -> int:
+        return self._n_records
+
+    def append(self, records, *, fsync: bool = True) -> tuple[int, int]:
+        """Append one batch; returns its ``(start, stop)`` row span.
+
+        ``records`` is a dataset or a raw ``(m, M)`` array (validated
+        against the schema).  Every column is written and -- by default
+        -- fsynced before the call returns; the caller acknowledges the
+        batch (and charges the ledger) only after that, which is what
+        makes recovery's minimum-prefix rule sound.
+        """
+        if self._closed:
+            raise DataError("cannot append to a closed FrdSpool")
+        if isinstance(records, CategoricalDataset):
+            if records.schema != self.schema:
+                raise DataError("batch schema does not match the spool schema")
+            records = records.records
+        else:
+            records = as_integer_array(records)
+            if records.ndim != 2 or records.shape[1] != self.schema.n_attributes:
+                raise DataError(
+                    f"batches must have shape (m, {self.schema.n_attributes}), "
+                    f"got {records.shape}"
+                )
+            validate_in_domain(self.schema, records)
+        for j, (handle, dtype) in enumerate(zip(self._handles, self._dtypes)):
+            handle.write(np.ascontiguousarray(records[:, j], dtype=dtype).tobytes())
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        start = self._n_records
+        self._n_records += int(records.shape[0])
+        return start, self._n_records
+
+    def records(self, start: int, stop: int) -> np.ndarray:
+        """Assemble the ``[start, stop)`` span as an ``(m, M)`` array."""
+        start = max(0, int(start))
+        stop = min(self._n_records, int(stop))
+        out = np.empty((max(0, stop - start), self.schema.n_attributes), self._dtype)
+        for handle in self._handles:
+            handle.flush()
+        for j, (column_path, dtype) in enumerate(zip(self._paths, self._dtypes)):
+            out[:, j] = np.fromfile(
+                column_path,
+                dtype=dtype,
+                count=max(0, stop - start),
+                offset=start * dtype.itemsize,
+            )
+        return out
+
+    def to_dataset(self) -> CategoricalDataset:
+        """Materialise the spooled records as an in-RAM compact dataset."""
+        records = self.records(0, self._n_records)
+        records.setflags(write=False)
+        return CategoricalDataset._trusted(self.schema, records)
+
+    def checkpoint(self) -> Path:
+        """Assemble the spool into a regular ``.frd`` file at ``path``.
+
+        Atomic (staging + rename) and non-disruptive: the spool keeps
+        accepting appends afterwards.  Returns the ``.frd`` path, which
+        :func:`open_frd` then memory-maps like any other dataset.
+        """
+        if self._closed:
+            raise DataError("cannot checkpoint a closed FrdSpool")
+        for handle in self._handles:
+            handle.flush()
+        _assemble_frd(self.path, self.schema, self._n_records, self._paths)
+        return self.path
+
+    def close(self) -> None:
+        """Flush and close the column files (spools stay on disk)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            handle.flush()
+            handle.close()
+
+    def __enter__(self) -> "FrdSpool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"FrdSpool(path={str(self.path)!r}, n_records={self._n_records}, "
+            f"n_attributes={self.schema.n_attributes})"
+        )
 
 
 class FrdDataset:

@@ -45,6 +45,41 @@ class ExperimentError(FrappError):
     """An experiment configuration is invalid or an experiment failed."""
 
 
+class ServiceError(FrappError):
+    """A perturbation-service request failed (bad wire data, I/O, ...).
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code the service maps this error to.
+    code:
+        A short machine-readable error code (``"bad_request"``, ...).
+    details:
+        Extra JSON-able context included in the structured error body.
+    """
+
+    def __init__(self, message, *, status: int = 400, code: str = "bad_request",
+                 details: dict | None = None):
+        super().__init__(message)
+        self.status = int(status)
+        self.code = str(code)
+        self.details = dict(details or {})
+
+
+class BudgetExceededError(ServiceError, PrivacyError):
+    """A submission would breach a tenant's cumulative privacy budget.
+
+    Mapped by the service to HTTP 403 with a structured error body; the
+    :attr:`~ServiceError.details` dict carries the tenant's cumulative
+    and projected ``(rho1, rho2)`` state so refusals are auditable.
+    """
+
+    def __init__(self, message, *, details: dict | None = None):
+        super().__init__(
+            message, status=403, code="budget_exceeded", details=details
+        )
+
+
 class UnknownMechanismError(ExperimentError, ValueError):
     """An unregistered mechanism name (or spec) was requested.
 

@@ -1,6 +1,7 @@
 """Command-line entry point: ``frapp`` / ``python -m repro.experiments``.
 
-Regenerates any table or figure of the paper from the command line:
+Regenerates any table or figure of the paper from the command line,
+and runs the always-on perturbation service:
 
 .. code-block:: console
 
@@ -11,6 +12,14 @@ Regenerates any table or figure of the paper from the command line:
    $ frapp all                   # warm: served entirely from the cache
    $ frapp cache ls              # inspect the result store
    $ frapp cache gc              # drop entries from older code versions
+   $ frapp serve --port 0        # the perturbation daemon (random port)
+   $ frapp ledger ls             # per-tenant privacy-budget summaries
+   $ frapp ledger show acme      # one tenant's full ledger
+
+Execution knobs (``--workers``, ``--chunk-size``, ``--count-backend``,
+``--backend``, ``--dispatch``, ``--jobs``) are shared across all
+subcommands via :mod:`repro.experiments.options`; the historical
+spellings still parse but warn.
 
 Experiment results are memoised in a content-addressed store (default
 ``~/.cache/frapp``, override with ``--cache-dir`` or
@@ -24,12 +33,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.data.backing import DATASET_BACKENDS
 from repro.data.census import census_schema
-from repro.experiments.config import ExperimentConfig, PAPER_GAMMA
+from repro.experiments.config import (
+    PAPER_GAMMA,
+    PAPER_RHO1,
+    PAPER_RHO2,
+    ExperimentConfig,
+)
+from repro.experiments.options import execution_options
 from repro.experiments.orchestrator import DatasetSpec, Orchestrator
-from repro.mining.kernels import COUNT_BACKENDS
-from repro.pipeline.executor import DISPATCH_MODES
 from repro.experiments.figures import (
     comparison_figure_cells,
     figure1,
@@ -65,10 +77,15 @@ _EXPERIMENTS = (
     "privacy",
     "all",
     "cache",
+    "serve",
+    "ledger",
 )
 
 #: ``frapp cache`` maintenance verbs.
 _CACHE_OPS = ("ls", "rm", "gc")
+
+#: ``frapp ledger`` inspection verbs.
+_LEDGER_OPS = ("ls", "show")
 
 
 def _config_from_args(args) -> ExperimentConfig:
@@ -316,13 +333,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="frapp",
         description="Reproduce the tables and figures of Agrawal & Haritsa (ICDE 2005)",
+        parents=[execution_options()],
     )
     parser.add_argument("experiment", choices=_EXPERIMENTS, help="what to regenerate")
     parser.add_argument(
         "extra",
         nargs="*",
-        help="operands for 'cache' (ls, rm <prefix|all>, gc) or JSON "
-        "mechanism specs for 'privacy'",
+        help="operands for 'cache' (ls, rm <prefix|all>, gc), 'ledger' "
+        "(ls, show <tenant>), or JSON mechanism specs for 'privacy'",
     )
     parser.add_argument(
         "--records", type=int, default=None, help="dataset size override"
@@ -333,47 +351,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--min-support", type=float, default=0.02, help="support threshold"
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="worker processes for DET-GD/RAN-GD perturbation (1 = in-process)",
-    )
-    parser.add_argument(
-        "--chunk-size",
-        type=int,
-        default=None,
-        help="records per pipeline chunk (unset = one-shot when workers=1)",
-    )
-    parser.add_argument(
-        "--count-backend",
-        choices=list(COUNT_BACKENDS),
-        default="bitmap",
-        help="support-counting kernel: packed AND/popcount bitmaps (default) "
-        "or per-subset bincount loops (identical results)",
-    )
-    parser.add_argument(
-        "--backend",
-        choices=list(DATASET_BACKENDS),
-        default="compact",
-        help="dataset record storage: minimal compact cell dtype (default) "
-        "or legacy int64 cells (identical results, ~8x the memory)",
-    )
-    parser.add_argument(
-        "--dispatch",
-        choices=list(DISPATCH_MODES),
-        default="pickle",
-        help="multi-worker chunk transport: per-chunk pickling (default) or "
-        "zero-copy shared-memory spans (identical results; needs --workers > 1 "
-        "to matter)",
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for independent experiment cells "
-        "(frapp all --jobs 4 runs the whole grid concurrently)",
     )
     parser.add_argument(
         "--no-cache",
@@ -390,7 +367,144 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result-store directory (default $REPRO_CACHE_DIR or ~/.cache/frapp)",
     )
+    service = parser.add_argument_group("service (frapp serve / frapp ledger)")
+    service.add_argument(
+        "--host", default="127.0.0.1", help="address frapp serve binds to"
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=8417,
+        help="port frapp serve listens on (0 = pick a free port; the "
+        "chosen port is announced on stdout)",
+    )
+    service.add_argument(
+        "--data-dir",
+        default="frapp-data",
+        help="durable service state: per-tenant ledgers and spools",
+    )
+    service.add_argument(
+        "--schema",
+        choices=("census", "health"),
+        default="census",
+        help="the schema the service collects",
+    )
+    service.add_argument(
+        "--mechanism",
+        default="det-gd",
+        help="default mechanism for collections opened without a spec",
+    )
+    service.add_argument(
+        "--rho1",
+        type=float,
+        default=PAPER_RHO1,
+        help="default tenant budget: prior probability ceiling",
+    )
+    service.add_argument(
+        "--rho2",
+        type=float,
+        default=PAPER_RHO2,
+        help="default tenant budget: cumulative posterior ceiling",
+    )
+    service.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="micro-batch flush threshold in rows (default 4096)",
+    )
+    service.add_argument(
+        "--max-latency",
+        type=float,
+        default=None,
+        help="micro-batch flush latency bound in seconds (default 0.020)",
+    )
+    service.add_argument(
+        "--no-auto-register",
+        action="store_true",
+        help="refuse unknown tenants/collections instead of creating "
+        "them with the default budget and mechanism",
+    )
     return parser
+
+
+def _run_serve(args) -> int:
+    """``frapp serve``: run the perturbation daemon until interrupted."""
+    import asyncio
+
+    from repro.data.health import health_schema
+    from repro.mechanisms.registry import factory_accepts, get
+    from repro.service import ServiceConfig, run_server
+    from repro.service.batcher import DEFAULT_MAX_BATCH, DEFAULT_MAX_LATENCY
+
+    schema = census_schema() if args.schema == "census" else health_schema()
+    params = {}
+    if factory_accepts(get(args.mechanism).factory, "gamma"):
+        params["gamma"] = args.gamma
+    config = ServiceConfig(
+        schema=schema,
+        data_dir=args.data_dir,
+        rho1=args.rho1,
+        rho2=args.rho2,
+        mechanism={"name": args.mechanism, "params": params},
+        seed=args.seed,
+        max_batch=(
+            DEFAULT_MAX_BATCH if args.max_batch is None else args.max_batch
+        ),
+        max_latency=(
+            DEFAULT_MAX_LATENCY if args.max_latency is None else args.max_latency
+        ),
+        auto_register=not args.no_auto_register,
+    )
+
+    def announce(port):
+        print(f"frapp serve: listening on http://{args.host}:{port}", flush=True)
+
+    try:
+        asyncio.run(
+            run_server(config, host=args.host, port=args.port, announce=announce)
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_ledger(args) -> str:
+    """``frapp ledger {ls,show <tenant>}`` over ``--data-dir``."""
+    import json
+
+    from repro.service import LedgerStore
+
+    operands = list(args.extra)
+    op = operands.pop(0) if operands else "ls"
+    if op not in _LEDGER_OPS:
+        raise SystemExit(f"frapp ledger: unknown operation {op!r} (use ls/show)")
+    store = LedgerStore(args.data_dir)
+    if op == "show":
+        if not operands:
+            raise SystemExit("frapp ledger show: give a tenant name")
+        tenant = operands.pop(0)
+        ledger = store.load(tenant)
+        if ledger is None:
+            raise SystemExit(f"frapp ledger: unknown tenant {tenant!r}")
+        return json.dumps(ledger.to_dict(), indent=2, sort_keys=True)
+    tenants = store.tenants()
+    if not tenants:
+        return f"ledgers at {store.root}: none"
+    header = (
+        f"{'tenant':<20} {'collections':>11} {'records':>10} "
+        f"{'gamma used':>11} {'gamma budget':>12} {'rho2 reached':>12}"
+    )
+    lines = [f"ledgers at {store.root}:", header, "-" * len(header)]
+    for tenant in tenants:
+        ledger = store.load(tenant)
+        lines.append(
+            f"{tenant:<20} {len(ledger.collections):>11} "
+            f"{sum(r.records for r in ledger.collections.values()):>10,} "
+            f"{ledger.cumulative_amplification():>11.4g} "
+            f"{ledger.budget.gamma:>12.4g} "
+            f"{ledger.cumulative_rho2():>12.4g}"
+        )
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
@@ -399,6 +513,15 @@ def main(argv=None) -> int:
     # and vice versa (`frapp privacy --gamma 19 '<spec>'`), which plain
     # parse_args rejects once a nargs="*" positional is in play.
     args = build_parser().parse_intermixed_args(argv)
+    if args.experiment == "serve":
+        if args.extra:
+            raise SystemExit(
+                f"frapp serve: unexpected operand(s) {args.extra!r}"
+            )
+        return _run_serve(args)
+    if args.experiment == "ledger":
+        print(_run_ledger(args))
+        return 0
     if args.experiment == "cache":
         print(_run_cache(args))
         return 0

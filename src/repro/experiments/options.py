@@ -1,0 +1,137 @@
+"""Shared execution-knob options for every ``frapp`` invocation.
+
+The execution knobs -- ``--workers``, ``--chunk-size``,
+``--count-backend``, ``--backend``, ``--dispatch``, ``--jobs`` -- used
+to be declared inline in the CLI parser; they now live in one parent
+parser (:func:`execution_options`) so every subcommand (experiments,
+``serve``, future tools) spells them identically and help text cannot
+drift.
+
+Historical spellings (``--num-workers``, ``--chunksize``,
+``--counting-backend``, ``--dispatch-mode``, ``--n-jobs``) keep
+working as hidden aliases that emit a deprecation warning and set the
+same destination, so existing scripts survive the unification.  The
+warning class is :class:`FutureWarning` -- the category Python shows
+by default -- because the audience is people running ``frapp`` from a
+shell, whom the default-ignored :class:`DeprecationWarning` would
+never reach.
+"""
+
+from __future__ import annotations
+
+import argparse
+import warnings
+
+from repro.data.backing import DATASET_BACKENDS
+from repro.mining.kernels import COUNT_BACKENDS
+from repro.pipeline.executor import DISPATCH_MODES
+
+
+class DeprecatedAlias(argparse.Action):
+    """A hidden option spelling that warns and forwards to the new one.
+
+    Deprecated aliases are invisible in ``--help`` (the canonical
+    spelling owns the documentation) but still parse, store into the
+    canonical destination, and emit a :class:`FutureWarning` naming
+    the replacement.
+    """
+
+    def __init__(self, option_strings, dest, preferred: str = "", **kwargs):
+        kwargs.setdefault("help", argparse.SUPPRESS)
+        super().__init__(option_strings, dest, **kwargs)
+        self.preferred = preferred
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warnings.warn(
+            f"{option_string} is deprecated; use {self.preferred}",
+            FutureWarning,
+            stacklevel=2,
+        )
+        setattr(namespace, self.dest, values)
+
+
+def execution_options() -> argparse.ArgumentParser:
+    """The parent parser carrying the shared execution knobs.
+
+    Use via ``argparse.ArgumentParser(parents=[execution_options()])``;
+    ``add_help=False`` keeps the parent from stealing ``-h``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for DET-GD/RAN-GD perturbation (1 = in-process)",
+    )
+    group.add_argument(
+        "--num-workers",
+        action=DeprecatedAlias,
+        dest="workers",
+        type=int,
+        preferred="--workers",
+    )
+    group.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="records per pipeline chunk (unset = one-shot when workers=1)",
+    )
+    group.add_argument(
+        "--chunksize",
+        action=DeprecatedAlias,
+        dest="chunk_size",
+        type=int,
+        preferred="--chunk-size",
+    )
+    group.add_argument(
+        "--count-backend",
+        choices=list(COUNT_BACKENDS),
+        default="bitmap",
+        help="support-counting kernel: packed AND/popcount bitmaps (default) "
+        "or per-subset bincount loops (identical results)",
+    )
+    group.add_argument(
+        "--counting-backend",
+        action=DeprecatedAlias,
+        dest="count_backend",
+        choices=list(COUNT_BACKENDS),
+        preferred="--count-backend",
+    )
+    group.add_argument(
+        "--backend",
+        choices=list(DATASET_BACKENDS),
+        default="compact",
+        help="dataset record storage: minimal compact cell dtype (default) "
+        "or legacy int64 cells (identical results, ~8x the memory)",
+    )
+    group.add_argument(
+        "--dispatch",
+        choices=list(DISPATCH_MODES),
+        default="pickle",
+        help="multi-worker chunk transport: per-chunk pickling (default) or "
+        "zero-copy shared-memory spans (identical results; needs --workers > 1 "
+        "to matter)",
+    )
+    group.add_argument(
+        "--dispatch-mode",
+        action=DeprecatedAlias,
+        dest="dispatch",
+        choices=list(DISPATCH_MODES),
+        preferred="--dispatch",
+    )
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent experiment cells "
+        "(frapp all --jobs 4 runs the whole grid concurrently)",
+    )
+    group.add_argument(
+        "--n-jobs",
+        action=DeprecatedAlias,
+        dest="jobs",
+        type=int,
+        preferred="--jobs",
+    )
+    return parent

@@ -35,6 +35,68 @@ from repro.stats.linalg import condition_number as dense_condition_number
 MAX_AUDIT_DOMAIN = 4096
 
 
+def _sorted_product(factors) -> float:
+    """Product of ``factors`` multiplied in sorted order.
+
+    Floating multiplication is not associative, so the same multiset
+    multiplied in two orders can differ in the last ulp.  Every caller
+    that reports a cumulative amplification multiplies the *sorted*
+    factors, which makes the reported bound a pure function of the
+    multiset -- the invariant the ledger's merge-order test pins.
+    """
+    product = 1.0
+    for factor in sorted(factors):
+        product *= float(factor)
+    return product
+
+
+def _rho2_for(rho1: float, gamma: float) -> float:
+    """Worst-case posterior for a prior under a gamma bound.
+
+    The one rule :meth:`PrivacyAccountant.statement` and
+    :meth:`PrivacyStatement.merge` share: finite ``gamma > 1`` inverts
+    Eq. (2); ``gamma <= 1`` is information-free (posterior pinned to the
+    prior); unbounded gamma offers no ceiling at all.
+    """
+    if np.isfinite(gamma) and gamma > 1.0:
+        return rho2_from_gamma(rho1, gamma)
+    if gamma <= 1.0:
+        return rho1
+    return 1.0
+
+
+def _merged_spec(left: dict, right: dict) -> dict:
+    """Canonical spec of a merged statement: the sorted part list.
+
+    Parts of nested merges are flattened, and the list is sorted by its
+    canonical JSON so the spec, like the factors, is a function of the
+    collection multiset rather than the merge order.
+    """
+    import json
+
+    parts = []
+    for spec in (left, right):
+        if spec.get("name") == "merged":
+            parts.extend(spec["params"]["parts"])
+        else:
+            parts.append(spec)
+    parts.sort(key=lambda part: json.dumps(part, sort_keys=True))
+    return {"name": "merged", "params": {"parts": parts}}
+
+
+def _encode_float(value: float):
+    """JSON-safe float: non-finite values become strings."""
+    value = float(value)
+    if np.isfinite(value):
+        return value
+    return repr(value)
+
+
+def _decode_float(value) -> float:
+    """Inverse of :func:`_encode_float`."""
+    return float(value)
+
+
 @dataclass(frozen=True)
 class PrivacyStatement:
     """The accountant's verdict on one mechanism.
@@ -81,6 +143,108 @@ class PrivacyStatement:
         """Whether the bound satisfies a ``(rho1, rho2)`` requirement."""
         return self.amplification <= requirement.gamma * (1.0 + 1e-9)
 
+    # ------------------------------------------------------------------
+    # composition (the ledger's primitive)
+    # ------------------------------------------------------------------
+    def collection_factors(self) -> tuple[float, ...]:
+        """The multiset of amplification factors this statement carries.
+
+        A composite statement already lists its per-part factors; a
+        plain statement contributes its own amplification as the single
+        factor.  Merged statements keep the *flat, sorted* multiset, so
+        the product -- and hence the reported ``(rho1, rho2)`` -- is
+        invariant under the merge order.
+        """
+        if self.factors is not None:
+            return self.factors
+        return (self.amplification,)
+
+    def merge(self, other: "PrivacyStatement") -> "PrivacyStatement":
+        """Compose two statements as independent collections.
+
+        Repeated collections from the same population multiply their
+        amplification bounds (the Section-5 product argument applied
+        across *time* instead of across attributes): an adversary who
+        sees both perturbed outputs of one record faces a transition
+        matrix whose row-ratio bound is at most the product of the two.
+        The merged statement therefore carries the union of the two
+        factor multisets, **sorted**, and recomputes ``amplification``
+        and ``rho2`` from that canonical order -- so any merge tree over
+        the same collections reports bit-identical ``(rho1, rho2)``.
+
+        Raises
+        ------
+        PrivacyError
+            If the two statements are evaluated at different priors.
+        """
+        if self.rho1 != other.rho1:
+            raise PrivacyError(
+                f"cannot merge statements at different priors "
+                f"({self.rho1} vs {other.rho1})"
+            )
+        factors = tuple(sorted(self.collection_factors() + other.collection_factors()))
+        gamma = _sorted_product(factors)
+        return PrivacyStatement(
+            mechanism=" + ".join(sorted((self.mechanism, other.mechanism))),
+            spec=_merged_spec(self.spec, other.spec),
+            amplification=gamma,
+            rho1=self.rho1,
+            rho2=_rho2_for(self.rho1, gamma),
+            factors=factors,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able form; exact inverse of :meth:`from_dict`.
+
+        Non-finite amplifications are encoded as strings (``"inf"``)
+        so the dict survives strict-JSON serialisers (the ledger's
+        on-disk format).
+        """
+        return {
+            "mechanism": self.mechanism,
+            "spec": self.spec,
+            "amplification": _encode_float(self.amplification),
+            "rho1": self.rho1,
+            "rho2": self.rho2,
+            "factors": (
+                None
+                if self.factors is None
+                else [_encode_float(f) for f in self.factors]
+            ),
+            "posterior_range": (
+                None if self.posterior_range is None else list(self.posterior_range)
+            ),
+            "condition_number": self.condition_number,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PrivacyStatement":
+        """Rebuild a statement serialised by :meth:`to_dict`."""
+        if not isinstance(data, dict) or "amplification" not in data:
+            raise PrivacyError(f"not a serialised privacy statement: {data!r}")
+        factors = data.get("factors")
+        posterior_range = data.get("posterior_range")
+        return cls(
+            mechanism=str(data.get("mechanism", "?")),
+            spec=dict(data.get("spec") or {}),
+            amplification=_decode_float(data["amplification"]),
+            rho1=float(data["rho1"]),
+            rho2=float(data["rho2"]),
+            factors=(
+                None
+                if factors is None
+                else tuple(_decode_float(f) for f in factors)
+            ),
+            posterior_range=(
+                None if posterior_range is None else tuple(map(float, posterior_range))
+            ),
+            condition_number=(
+                None
+                if data.get("condition_number") is None
+                else float(data["condition_number"])
+            ),
+        )
+
 
 class PrivacyAccountant:
     """Uniform (rho1, rho2) accounting over registered mechanisms.
@@ -101,14 +265,7 @@ class PrivacyAccountant:
     def statement(self, mechanism: Mechanism) -> PrivacyStatement:
         """Derive the privacy statement for one mechanism."""
         gamma = float(mechanism.amplification())
-        if np.isfinite(gamma) and gamma > 1.0:
-            rho2 = rho2_from_gamma(self.rho1, gamma)
-        elif gamma <= 1.0:
-            # gamma = 1 is the uniform (information-free) matrix: the
-            # posterior can never move off the prior.
-            rho2 = self.rho1
-        else:
-            rho2 = 1.0
+        rho2 = _rho2_for(self.rho1, gamma)
         factors = None
         if hasattr(mechanism, "amplification_factors"):
             factors = tuple(float(f) for f in mechanism.amplification_factors())

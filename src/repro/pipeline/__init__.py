@@ -10,6 +10,9 @@ vectors.  This package exploits both facts to turn the one-shot
 * :mod:`repro.pipeline.accumulator` -- incremental accumulation, as
   joint counts (``O(|S_U|)`` memory, order-independent, mergeable) or
   as packed transaction bitmaps for the AND/popcount mining kernel;
+* :mod:`repro.pipeline.batch` -- the batch-sized entry point for
+  incrementally arriving streams (:class:`SequentialPerturbStream`,
+  the always-on service's perturbation core);
 * :mod:`repro.pipeline.executor` -- the chunked
   :class:`PerturbationPipeline` with multi-process fan-out and the
   SeedSequence-based determinism contract (DESIGN.md, "Scaling");
@@ -18,6 +21,7 @@ vectors.  This package exploits both facts to turn the one-shot
 """
 
 from repro.pipeline.accumulator import BitmapAccumulator, JointCountAccumulator
+from repro.pipeline.batch import SequentialPerturbStream
 from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE, iter_record_chunks
 from repro.pipeline.executor import DISPATCH_MODES, PerturbationPipeline
 from repro.pipeline.streaming import (
@@ -37,6 +41,7 @@ __all__ = [
     "DISPATCH_MODES",
     "JointCountAccumulator",
     "PerturbationPipeline",
+    "SequentialPerturbStream",
     "iter_record_chunks",
     "mine_stream",
     "reconstruct_stream",

@@ -1,0 +1,58 @@
+"""The always-on perturbation service (``frapp serve``).
+
+FRAPP deployed: an asyncio daemon that perturbs incoming records in
+micro-batches, spools them durably per tenant, accounts cumulative
+``(rho1, rho2)`` exposure in persistent ledgers, and answers
+reconstruction and mining queries over the accumulated perturbed
+database.
+
+* :mod:`repro.service.wire` -- the JSON wire schema and structured
+  error bodies;
+* :mod:`repro.service.ledger` -- persistent per-tenant privacy
+  ledgers with order-invariant cumulative accounting;
+* :mod:`repro.service.batcher` -- micro-batching of concurrent
+  submissions into single uniform-block draws;
+* :mod:`repro.service.server` -- the transport-free
+  :class:`PerturbationService` and its HTTP/1.1 front end;
+* :mod:`repro.service.client` -- the synchronous
+  :class:`ServiceClient` (see :func:`repro.api.connect`).
+"""
+
+from repro.service.batcher import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_LATENCY,
+    MicroBatcher,
+)
+from repro.service.client import ServiceClient
+from repro.service.ledger import (
+    LEDGER_VERSION,
+    CollectionRecord,
+    LedgerStore,
+    TenantLedger,
+)
+from repro.service.server import (
+    PerturbationService,
+    ServiceConfig,
+    ServiceServer,
+    derive_collection_seed,
+    run_server,
+)
+from repro.service.wire import MAX_RECORDS_PER_REQUEST, WIRE_VERSION
+
+__all__ = [
+    "CollectionRecord",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_LATENCY",
+    "LEDGER_VERSION",
+    "LedgerStore",
+    "MAX_RECORDS_PER_REQUEST",
+    "MicroBatcher",
+    "PerturbationService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceServer",
+    "TenantLedger",
+    "WIRE_VERSION",
+    "derive_collection_seed",
+    "run_server",
+]

@@ -1,0 +1,128 @@
+"""Micro-batching of incoming submissions into pipeline-sized batches.
+
+The service's throughput lever: instead of perturbing each request's
+records with their own uniform draw, concurrent submissions to the same
+collection are coalesced and flushed as **one batch -- one uniform
+block draw** through the collection's
+:class:`~repro.pipeline.SequentialPerturbStream`.
+
+Flush policy (both knobs configurable per server):
+
+* ``max_batch`` -- flush as soon as the pending row count reaches it;
+* ``max_latency`` -- flush ``max_latency`` seconds after the oldest
+  pending submission arrived, however few rows are waiting.
+
+Correctness does not depend on where flushes fall: the sequential
+stream's output is bit-identical for *any* batch partition of the
+arrival order (see :mod:`repro.pipeline.batch`), so latency-driven
+flushes never change results -- only how many RNG calls and numpy
+dispatches the same records cost.
+
+The batcher runs entirely on the event loop: submissions enqueue
+``(records, future)`` pairs, the flush coalesces them in arrival order,
+processes the concatenated batch synchronously (numpy releases the GIL
+for the heavy parts), and resolves each future with its slice of the
+result.  In-order processing is guaranteed because enqueue and flush
+both happen on the loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.exceptions import ServiceError
+
+#: Default flush thresholds (rows / seconds).
+DEFAULT_MAX_BATCH = 4096
+DEFAULT_MAX_LATENCY = 0.020
+
+
+class MicroBatcher:
+    """Coalesce per-request record arrays into processed batches.
+
+    Parameters
+    ----------
+    process:
+        ``(records) -> result`` -- the batch worker (perturb, spool
+        append, ledger acknowledge); its result is shared by every
+        submission in the batch.  Called on the event-loop thread,
+        strictly in arrival order.
+    max_batch:
+        Row count that triggers an immediate flush.
+    max_latency:
+        Seconds the oldest pending submission may wait before a flush.
+    """
+
+    def __init__(
+        self,
+        process,
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_latency: float = DEFAULT_MAX_LATENCY,
+    ):
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        if max_latency < 0:
+            raise ServiceError(f"max_latency must be >= 0, got {max_latency}")
+        self._process = process
+        self.max_batch = int(max_batch)
+        self.max_latency = float(max_latency)
+        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self._pending_rows = 0
+        self._timer: asyncio.TimerHandle | None = None
+        self.batches_flushed = 0
+        self.records_processed = 0
+
+    async def submit(self, records: np.ndarray):
+        """Enqueue one submission; resolves once its batch is processed.
+
+        Returns ``(result, offset, n)``: the shared ``process`` result
+        of the flushed batch, plus this submission's row offset and row
+        count within it (arrival order), from which the caller slices
+        its own records.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((records, future))
+        self._pending_rows += int(records.shape[0])
+        if self._pending_rows >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.max_latency, self._flush)
+        return await future
+
+    async def drain(self) -> None:
+        """Flush whatever is pending now (used at shutdown)."""
+        if self._pending:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        self._pending_rows = 0
+        batch = (
+            pending[0][0]
+            if len(pending) == 1
+            else np.concatenate([records for records, _ in pending], axis=0)
+        )
+        try:
+            result = self._process(batch)
+        except BaseException as error:
+            for _, future in pending:
+                if not future.cancelled():
+                    future.set_exception(error)
+            return
+        offset = 0
+        for records, future in pending:
+            n = int(records.shape[0])
+            if not future.cancelled():
+                future.set_result((result, offset, n))
+            offset += n
+        self.batches_flushed += 1
+        self.records_processed += offset

@@ -1,0 +1,213 @@
+"""Synchronous client for a running ``frapp serve`` daemon.
+
+Stdlib-only (``http.client``), one keep-alive connection per client.
+Structured error bodies come back as the same exception types the
+server raised: a 403 budget refusal raises
+:class:`~repro.exceptions.BudgetExceededError` with the ledger's
+structured details attached, everything else a
+:class:`~repro.exceptions.ServiceError` carrying the server's status
+and code.  Obtain one via :func:`repro.api.connect`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.exceptions import BudgetExceededError, ServiceError
+
+
+class ServiceClient:
+    """Talk JSON over HTTP/1.1 to a :class:`~repro.service.ServiceServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Where ``frapp serve`` is listening.
+    timeout:
+        Socket timeout in seconds for each request.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8417, *,
+                 timeout: float = 60.0):
+        self.host = str(host)
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            self._connection.request(method, path, body=payload, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # One transparent retry on a fresh connection: the server
+            # may have closed an idle keep-alive socket under us.
+            self.close()
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._connection.request(method, path, body=payload, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                f"server returned a non-JSON body (status {response.status}): "
+                f"{error}",
+                status=502,
+                code="bad_gateway",
+            ) from None
+        if response.status >= 400:
+            raise self._as_error(response.status, decoded)
+        return decoded
+
+    @staticmethod
+    def _as_error(status: int, body: dict) -> ServiceError:
+        error = body.get("error") if isinstance(body, dict) else None
+        if not isinstance(error, dict):
+            return ServiceError(
+                f"server error (status {status})", status=status,
+                code="unknown_error",
+            )
+        code = str(error.get("code", "unknown_error"))
+        message = str(error.get("message", f"server error (status {status})"))
+        details = {
+            key: value
+            for key, value in error.items()
+            if key not in ("code", "message")
+        }
+        if code == "budget_exceeded":
+            return BudgetExceededError(message, details=details)
+        return ServiceError(message, status=status, code=code, details=details)
+
+    def close(self) -> None:
+        """Close the underlying connection (reopened on next request)."""
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            finally:
+                self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ServiceClient(host={self.host!r}, port={self.port})"
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /v1/health`` -- liveness, wire version, schema."""
+        return self._request("GET", "/v1/health")
+
+    def register_tenant(self, tenant: str, *, rho1: float | None = None,
+                        rho2: float | None = None) -> dict:
+        """Register ``tenant`` with an optional explicit budget."""
+        body: dict = {"tenant": tenant}
+        if rho1 is not None:
+            body["rho1"] = float(rho1)
+        if rho2 is not None:
+            body["rho2"] = float(rho2)
+        return self._request("POST", "/v1/tenants", body)
+
+    def open_collection(self, tenant: str, collection: str = "default", *,
+                        mechanism: dict | None = None,
+                        seed: int | None = None) -> dict:
+        """Open a collection, charging its mechanism to the tenant budget.
+
+        Raises :class:`~repro.exceptions.BudgetExceededError` when the
+        tenant's cumulative ``(rho1, rho2)`` budget refuses the charge.
+        """
+        body: dict = {"tenant": tenant, "collection": collection}
+        if mechanism is not None:
+            body["mechanism"] = mechanism
+        if seed is not None:
+            body["seed"] = int(seed)
+        return self._request("POST", "/v1/collections", body)
+
+    def perturb(self, records, *, mechanism: dict | None = None,
+                seed: int | None = None) -> dict:
+        """Stateless perturbation (no tenant, no spool, no charge)."""
+        body: dict = {"records": _as_rows(records)}
+        if mechanism is not None:
+            body["mechanism"] = mechanism
+        if seed is not None:
+            body["seed"] = int(seed)
+        return self._request("POST", "/v1/perturb", body)
+
+    def submit(self, tenant: str, records, *, collection: str = "default",
+               return_records: bool = False) -> dict:
+        """Submit records for micro-batched perturbation and spooling."""
+        body: dict = {
+            "tenant": tenant,
+            "collection": collection,
+            "records": _as_rows(records),
+        }
+        if return_records:
+            body["return_records"] = True
+        return self._request("POST", "/v1/submit", body)
+
+    def reconstruct(self, tenant: str, itemsets, *,
+                    collection: str = "default") -> dict:
+        """Reconstructed supports of ``itemsets`` over the spool."""
+        return self._request(
+            "POST",
+            "/v1/reconstruct",
+            {
+                "tenant": tenant,
+                "collection": collection,
+                "itemsets": [_as_wire_itemset(its) for its in itemsets],
+            },
+        )
+
+    def mine(self, tenant: str, *, collection: str = "default",
+             min_support: float = 0.02, max_length: int | None = None) -> dict:
+        """Apriori mining over the collection's reconstructed supports."""
+        body: dict = {
+            "tenant": tenant,
+            "collection": collection,
+            "min_support": float(min_support),
+        }
+        if max_length is not None:
+            body["max_length"] = int(max_length)
+        return self._request("POST", "/v1/mine", body)
+
+    def ledger(self, tenant: str | None = None) -> dict:
+        """Ledger summary of every tenant, or one tenant's full ledger."""
+        path = "/v1/ledger" if tenant is None else f"/v1/ledger/{tenant}"
+        return self._request("GET", path)
+
+
+def _as_rows(records) -> list:
+    """Accept a dataset, array or nested list and emit wire rows."""
+    rows = getattr(records, "records", records)
+    tolist = getattr(rows, "tolist", None)
+    return tolist() if tolist is not None else list(rows)
+
+
+def _as_wire_itemset(itemset) -> dict:
+    """Accept an :class:`~repro.mining.itemsets.Itemset` or a wire dict."""
+    if isinstance(itemset, dict):
+        return itemset
+    return {
+        "attributes": list(itemset.attributes),
+        "values": list(itemset.values),
+    }

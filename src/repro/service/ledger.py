@@ -1,0 +1,291 @@
+"""Persistent per-tenant privacy ledgers (cumulative (rho1, rho2)).
+
+The PR-5 :class:`~repro.mechanisms.PrivacyAccountant` states what one
+mechanism guarantees for one collection.  A deployed service faces the
+RAPPOR problem (Erlingsson et al., CCS 2014): the *same* population is
+collected repeatedly, and an adversary holding every perturbed release
+of a record faces the **product** of the per-collection amplification
+bounds.  The ledger is the accountant made persistent and cumulative:
+
+* every tenant carries a configured budget ``(rho1, rho2)`` -- i.e. a
+  cumulative amplification ceiling ``gamma_budget`` via paper Eq. (2);
+* opening a collection *charges* the mechanism's amplification bound by
+  merging its :class:`~repro.mechanisms.PrivacyStatement` into the
+  tenant's cumulative statement
+  (:meth:`~repro.mechanisms.PrivacyStatement.merge` keeps the flat
+  sorted factor multiset, so the reported cumulative ``(rho1, rho2)``
+  is independent of charge order);
+* a charge that would push the cumulative amplification past the
+  budget raises :class:`~repro.exceptions.BudgetExceededError`, which
+  the server maps to HTTP 403 with a structured body -- the charge is
+  **not** applied, so a refused tenant can still spend exact remaining
+  headroom on a smaller mechanism.
+
+Durability
+----------
+Ledger state lives in one JSON file per tenant
+(``<root>/<tenant>/ledger.json``), written with the store's atomic
+write-temp-then-rename primitive plus fsync
+(:func:`repro.store.atomic_write_json`), so a crash leaves either the
+old state or the new state, never a torn file.  The invariant linking
+ledger and spool: a submission batch is fsynced into the tenant's
+``.frd`` spool *before* its record count is acknowledged here, so on
+recovery the ledger's ``records`` is a lower bound on the spool's
+durable rows and the spool truncates to ``min(complete rows,
+acknowledged rows)`` (see :class:`repro.data.io.FrdSpool`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.privacy import PrivacyRequirement
+from repro.exceptions import BudgetExceededError, ServiceError
+from repro.mechanisms.accountant import PrivacyStatement
+from repro.store.store import atomic_write_json
+
+#: On-disk ledger format version; bump on incompatible changes.
+LEDGER_VERSION = 1
+
+
+@dataclass
+class CollectionRecord:
+    """One opened collection of a tenant.
+
+    Attributes
+    ----------
+    name:
+        Collection identifier (unique per tenant).
+    statement:
+        The privacy statement charged when the collection opened.
+    seed:
+        The collection's perturbation-stream seed; together with the
+        mechanism spec inside ``statement`` it makes the service-side
+        output offline-reproducible.
+    records:
+        Acknowledged (fsynced) submission records.
+    """
+
+    name: str
+    statement: PrivacyStatement
+    seed: int
+    records: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-able form (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "statement": self.statement.to_dict(),
+            "seed": int(self.seed),
+            "records": int(self.records),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CollectionRecord":
+        """Rebuild a collection record serialised by :meth:`to_dict`."""
+        return cls(
+            name=str(data["name"]),
+            statement=PrivacyStatement.from_dict(data["statement"]),
+            seed=int(data["seed"]),
+            records=int(data["records"]),
+        )
+
+
+@dataclass
+class TenantLedger:
+    """The durable privacy state of one tenant.
+
+    The cumulative statement is **not** recomputed from scratch on
+    every query: it is maintained incrementally through
+    :meth:`~repro.mechanisms.PrivacyStatement.merge` as collections
+    open, serialised with the rest of the state, and survives the
+    JSON round-trip bit-for-bit (merge keeps sorted factor multisets,
+    so reload-and-continue reports the same ``(rho1, rho2)`` as one
+    uninterrupted process).
+    """
+
+    tenant: str
+    budget: PrivacyRequirement
+    collections: dict[str, CollectionRecord] = field(default_factory=dict)
+    cumulative: PrivacyStatement | None = None
+
+    @property
+    def rho1(self) -> float:
+        """The prior every statement of this tenant is evaluated at."""
+        return self.budget.rho1
+
+    def cumulative_amplification(self) -> float:
+        """Product bound over all charged collections (1.0 when none)."""
+        if self.cumulative is None:
+            return 1.0
+        return self.cumulative.amplification
+
+    def cumulative_rho2(self) -> float:
+        """Worst-case cumulative posterior (the prior when uncharged)."""
+        if self.cumulative is None:
+            return self.budget.rho1
+        return self.cumulative.rho2
+
+    def headroom(self) -> float:
+        """Multiplicative amplification budget still unspent."""
+        return self.budget.gamma / self.cumulative_amplification()
+
+    def _projected(self, statement: PrivacyStatement) -> PrivacyStatement:
+        if self.cumulative is None:
+            return statement
+        return self.cumulative.merge(statement)
+
+    def charge(
+        self, name: str, statement: PrivacyStatement, seed: int
+    ) -> CollectionRecord:
+        """Open collection ``name``, charging its statement to the budget.
+
+        Raises
+        ------
+        BudgetExceededError
+            When the projected cumulative amplification would exceed
+            the budget's ``gamma`` (exact exhaustion is allowed, up to
+            the accountant's 1e-9 relative tolerance).  The ledger is
+            left unchanged.
+        ServiceError
+            When the collection already exists or the statement's prior
+            does not match the tenant's.
+        """
+        if name in self.collections:
+            raise ServiceError(
+                f"collection {name!r} of tenant {self.tenant!r} is already open",
+                code="collection_exists",
+                status=409,
+            )
+        if statement.rho1 != self.budget.rho1:
+            raise ServiceError(
+                f"statement prior rho1={statement.rho1} does not match the "
+                f"tenant's budget prior rho1={self.budget.rho1}"
+            )
+        projected = self._projected(statement)
+        if not projected.admits(self.budget):
+            raise BudgetExceededError(
+                f"tenant {self.tenant!r}: opening collection {name!r} would "
+                f"raise the cumulative amplification to "
+                f"{projected.amplification:g} "
+                f"(budget gamma {self.budget.gamma:g}, rho2 ceiling "
+                f"{self.budget.rho2:g})",
+                details={
+                    "tenant": self.tenant,
+                    "collection": name,
+                    "rho1": self.budget.rho1,
+                    "budget_rho2": self.budget.rho2,
+                    "budget_amplification": self.budget.gamma,
+                    "cumulative_amplification": self.cumulative_amplification(),
+                    "cumulative_rho2": self.cumulative_rho2(),
+                    "requested_amplification": statement.amplification,
+                    "projected_amplification": projected.amplification,
+                    "projected_rho2": projected.rho2,
+                },
+            )
+        record = CollectionRecord(name=name, statement=statement, seed=int(seed))
+        self.collections[name] = record
+        self.cumulative = projected
+        return record
+
+    def to_dict(self) -> dict:
+        """JSON-able form (inverse of :meth:`from_dict`)."""
+        return {
+            "version": LEDGER_VERSION,
+            "tenant": self.tenant,
+            "budget": {"rho1": self.budget.rho1, "rho2": self.budget.rho2},
+            "collections": {
+                name: record.to_dict()
+                for name, record in sorted(self.collections.items())
+            },
+            "cumulative": (
+                None if self.cumulative is None else self.cumulative.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantLedger":
+        """Rebuild a tenant ledger serialised by :meth:`to_dict`."""
+        if not isinstance(data, dict) or data.get("version") != LEDGER_VERSION:
+            raise ServiceError(f"unsupported ledger state: {data!r}")
+        budget = data["budget"]
+        cumulative = data.get("cumulative")
+        return cls(
+            tenant=str(data["tenant"]),
+            budget=PrivacyRequirement(
+                float(budget["rho1"]), float(budget["rho2"])
+            ),
+            collections={
+                name: CollectionRecord.from_dict(record)
+                for name, record in data.get("collections", {}).items()
+            },
+            cumulative=(
+                None
+                if cumulative is None
+                else PrivacyStatement.from_dict(cumulative)
+            ),
+        )
+
+
+class LedgerStore:
+    """The on-disk home of every tenant's ledger.
+
+    One directory per tenant under ``root``; the ledger JSON sits next
+    to the tenant's spool files, so a tenant's entire durable state
+    moves (and is backed up) as one directory.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def tenant_dir(self, tenant: str) -> Path:
+        """The tenant's state directory (created on demand)."""
+        return self.root / tenant
+
+    def _ledger_path(self, tenant: str) -> Path:
+        return self.tenant_dir(tenant) / "ledger.json"
+
+    def tenants(self) -> list[str]:
+        """Registered tenant names (those with a persisted ledger)."""
+        return sorted(
+            path.parent.name for path in self.root.glob("*/ledger.json")
+        )
+
+    def load(self, tenant: str) -> TenantLedger | None:
+        """The persisted ledger of ``tenant``, or ``None``.
+
+        Raises
+        ------
+        ServiceError
+            When the file exists but cannot be parsed -- corrupt
+            privacy state must never be silently reset to "unspent".
+        """
+        path = self._ledger_path(tenant)
+        try:
+            data = json.loads(path.read_bytes())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as error:
+            raise ServiceError(
+                f"tenant {tenant!r} has an unreadable ledger at {path}: {error}",
+                code="ledger_corrupt",
+                status=500,
+            ) from error
+        return TenantLedger.from_dict(data)
+
+    def save(self, ledger: TenantLedger) -> None:
+        """Persist ``ledger`` atomically (fsynced before rename)."""
+        directory = self.tenant_dir(ledger.tenant)
+        directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            self._ledger_path(ledger.tenant), ledger.to_dict(), fsync=True
+        )
+
+    def create(self, tenant: str, budget: PrivacyRequirement) -> TenantLedger:
+        """Create (and persist) a fresh ledger for ``tenant``."""
+        ledger = TenantLedger(tenant=tenant, budget=budget)
+        self.save(ledger)
+        return ledger

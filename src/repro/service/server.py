@@ -1,0 +1,686 @@
+"""The always-on perturbation daemon (``frapp serve``).
+
+FRAPP's deployment model, end to end: respondents submit records to a
+long-running collector, records are perturbed in micro-batches, spooled
+durably per tenant, and the miner reconstructs supports from the
+accumulated perturbed database -- all while a persistent per-tenant
+privacy ledger accounts the cumulative ``(rho1, rho2)`` exposure across
+collections and refuses submissions that would breach the configured
+budget.
+
+Two layers:
+
+* :class:`PerturbationService` -- the transport-free application: tenant
+  registration, collection charging against the
+  :class:`~repro.service.ledger.LedgerStore`, micro-batched perturbation
+  through per-collection :class:`~repro.pipeline.SequentialPerturbStream`
+  + :class:`~repro.service.batcher.MicroBatcher` pairs, durable
+  :class:`~repro.data.io.FrdSpool` appends, reconstruction and mining
+  over the spooled database.
+* :class:`ServiceServer` -- a dependency-free JSON-over-HTTP/1.1 front
+  end on ``asyncio.start_server`` (keep-alive, Content-Length framing).
+
+Determinism contract
+--------------------
+Each collection owns one sequential uniform stream seeded by its
+recorded ``seed``.  Submission batches -- however traffic happens to
+split them -- consume that stream in arrival order, so the spooled
+perturbed records are **bit-identical** to the offline
+``engine.perturb(dataset, seed)`` (equivalently, the chunked
+:class:`~repro.pipeline.PerturbationPipeline` with ``workers=1``) over
+the same records in the same order.  After a crash or restart the
+stream fast-forwards past the spool's recovered record count, so the
+continuation is bit-identical too.
+
+Endpoints (all bodies JSON; see :mod:`repro.service.wire`)::
+
+    GET  /v1/health                liveness + schema + wire version
+    GET  /v1/ledger                per-tenant cumulative budget summary
+    GET  /v1/ledger/<tenant>       one tenant's full ledger
+    POST /v1/tenants               {tenant, rho1?, rho2?}
+    POST /v1/collections           {tenant, collection?, mechanism?, seed?}
+    POST /v1/perturb               {records, mechanism?, seed?} (stateless)
+    POST /v1/submit                {tenant, collection?, records,
+                                    return_records?}
+    POST /v1/reconstruct           {tenant, collection?, itemsets}
+    POST /v1/mine                  {tenant, collection?, min_support?,
+                                    max_length?}
+
+Budget refusals are HTTP 403 with the structured body of
+:func:`repro.service.wire.error_body`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.core.privacy import PrivacyRequirement
+from repro.data.io import FrdSpool
+from repro.data.schema import Schema
+from repro.exceptions import FrappError, ServiceError
+from repro.mechanisms import MechanismSpec, PrivacyAccountant, from_spec
+from repro.mechanisms.base import MarginalInversionEstimator
+from repro.mining.apriori import apriori
+from repro.pipeline.batch import SequentialPerturbStream
+from repro.service import wire
+from repro.service.batcher import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_LATENCY,
+    MicroBatcher,
+)
+from repro.service.ledger import LedgerStore, TenantLedger
+
+#: Largest request body the HTTP front end accepts (64 MiB).
+MAX_BODY_BYTES = 64 << 20
+
+
+def derive_collection_seed(root_seed: int, tenant: str, collection: str) -> int:
+    """Deterministic per-collection seed from the server's root seed.
+
+    A stable hash (SHA-256, truncated to 63 bits) of
+    ``(root_seed, tenant, collection)`` -- reproducible across runs and
+    machines, recorded in the ledger so the collection's perturbation
+    is offline-replayable from the ledger alone.
+    """
+    digest = hashlib.sha256(
+        f"{int(root_seed)}\x00{tenant}\x00{collection}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass
+class ServiceConfig:
+    """Configuration of one :class:`PerturbationService` instance.
+
+    Attributes
+    ----------
+    schema:
+        The categorical schema every tenant of this server collects.
+    data_dir:
+        Root of the durable state (ledgers + spools), one
+        subdirectory per tenant.
+    rho1, rho2:
+        Default per-tenant budget: the cumulative worst-case posterior
+        ceiling new tenants are registered with.
+    mechanism:
+        Default mechanism spec for collections opened without one.
+    seed:
+        Root seed that per-collection seeds are derived from.
+    max_batch, max_latency:
+        Micro-batcher flush thresholds (rows / seconds).
+    auto_register:
+        Whether first-touch tenants/collections are created implicitly
+        with the defaults (convenient for simulations; production
+        configs disable it and register budgets explicitly).
+    """
+
+    schema: Schema
+    data_dir: str
+    rho1: float = 0.05
+    rho2: float = 0.50
+    mechanism: dict = field(
+        default_factory=lambda: {"name": "det-gd", "params": {"gamma": 19.0}}
+    )
+    seed: int = 20050405
+    max_batch: int = DEFAULT_MAX_BATCH
+    max_latency: float = DEFAULT_MAX_LATENCY
+    auto_register: bool = True
+
+
+class CollectionRuntime:
+    """Live state of one open collection: mechanism, stream, spool, batcher."""
+
+    def __init__(self, service: "PerturbationService", ledger, record):
+        self.ledger = ledger
+        self.record = record
+        self.mechanism = from_spec(
+            MechanismSpec.from_dict(record.statement.spec), service.schema
+        )
+        spool_path = (
+            service.ledgers.tenant_dir(ledger.tenant) / f"{record.name}.frd"
+        )
+        # The ledger's acknowledged count caps recovery: an fsynced but
+        # never-acknowledged tail is dropped, keeping spool and stream
+        # consistent (at-most-once submission semantics).
+        self.spool = FrdSpool(
+            service.schema, spool_path, expected_records=record.records
+        )
+        record.records = self.spool.n_records
+        self.stream = SequentialPerturbStream(self.mechanism, seed=record.seed)
+        if self.spool.n_records:
+            self.stream.skip_records(self.spool.n_records)
+        self._service = service
+        self.batcher = MicroBatcher(
+            self._process_batch,
+            max_batch=service.config.max_batch,
+            max_latency=service.config.max_latency,
+        )
+
+    def _process_batch(self, batch):
+        """Perturb one flushed batch, spool it, acknowledge the ledger."""
+        perturbed = self.stream.perturb_batch(batch)
+        start, stop = self.spool.append(perturbed)
+        self.record.records = self.spool.n_records
+        self._service.ledgers.save(self.ledger)
+        return {"start": start, "stop": stop, "perturbed": perturbed}
+
+    def estimator(self) -> MarginalInversionEstimator:
+        """Support estimator over everything spooled so far."""
+        if self.spool.n_records == 0:
+            raise ServiceError(
+                f"collection {self.record.name!r} has no submissions yet",
+                code="empty_collection",
+                status=409,
+            )
+        dataset = self.spool.to_dataset()
+        return MarginalInversionEstimator(
+            self.mechanism, dataset.subset_counts, dataset.n_records
+        )
+
+    def close(self) -> None:
+        """Flush and close the spool."""
+        self.spool.close()
+
+
+class PerturbationService:
+    """The transport-free perturbation service (see module docstring)."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.schema = config.schema
+        self.ledgers = LedgerStore(config.data_dir)
+        self.accountant = PrivacyAccountant(rho1=config.rho1)
+        self._tenants: dict[str, TenantLedger] = {}
+        self._runtimes: dict[tuple[str, str], CollectionRuntime] = {}
+        for tenant in self.ledgers.tenants():
+            ledger = self.ledgers.load(tenant)
+            self._tenants[tenant] = ledger
+            for record in ledger.collections.values():
+                self._runtimes[(tenant, record.name)] = CollectionRuntime(
+                    self, ledger, record
+                )
+        # Spool recovery may have truncated acknowledged counts (an
+        # operator rolled back spool files); persist the reconciled
+        # state so ledger and spools agree from the first request on.
+        for ledger in self._tenants.values():
+            self.ledgers.save(ledger)
+
+    # ------------------------------------------------------------------
+    # tenants and collections
+    # ------------------------------------------------------------------
+    def register_tenant(
+        self, tenant: str, rho1: float | None = None, rho2: float | None = None
+    ) -> TenantLedger:
+        """Create (or idempotently re-register) a tenant budget."""
+        budget = PrivacyRequirement(
+            float(rho1 if rho1 is not None else self.config.rho1),
+            float(rho2 if rho2 is not None else self.config.rho2),
+        )
+        existing = self._tenants.get(tenant)
+        if existing is not None:
+            if (existing.budget.rho1, existing.budget.rho2) != (
+                budget.rho1,
+                budget.rho2,
+            ):
+                raise ServiceError(
+                    f"tenant {tenant!r} is already registered with budget "
+                    f"(rho1={existing.budget.rho1:g}, "
+                    f"rho2={existing.budget.rho2:g})",
+                    code="tenant_exists",
+                    status=409,
+                )
+            return existing
+        ledger = self.ledgers.create(tenant, budget)
+        self._tenants[tenant] = ledger
+        return ledger
+
+    def _tenant(self, tenant: str) -> TenantLedger:
+        ledger = self._tenants.get(tenant)
+        if ledger is None:
+            if not self.config.auto_register:
+                raise ServiceError(
+                    f"unknown tenant {tenant!r} (auto-registration is off)",
+                    code="unknown_tenant",
+                    status=404,
+                )
+            ledger = self.register_tenant(tenant)
+        return ledger
+
+    def open_collection(
+        self,
+        tenant: str,
+        collection: str,
+        mechanism: dict | None = None,
+        seed: int | None = None,
+    ) -> CollectionRuntime:
+        """Open a collection, charging its mechanism to the tenant budget.
+
+        Raises
+        ------
+        BudgetExceededError
+            When the charge would breach the tenant's cumulative
+            budget; the ledger is unchanged and the HTTP layer answers
+            403 with the structured refusal body.
+        """
+        ledger = self._tenant(tenant)
+        spec = MechanismSpec.from_dict(mechanism or self.config.mechanism)
+        try:
+            live = from_spec(spec, self.schema)
+        except (FrappError, TypeError) as error:
+            raise ServiceError(
+                f"cannot build mechanism {spec.name!r}: {error}",
+                code="bad_mechanism",
+            ) from None
+        statement = PrivacyAccountant(rho1=ledger.budget.rho1).statement(live)
+        if seed is None:
+            seed = derive_collection_seed(self.config.seed, tenant, collection)
+        record = ledger.charge(collection, statement, int(seed))
+        try:
+            runtime = CollectionRuntime(self, ledger, record)
+        except BaseException:
+            # Roll the charge back: a collection that never came up
+            # must not consume budget.
+            del ledger.collections[collection]
+            raise
+        self.ledgers.save(ledger)
+        self._runtimes[(tenant, collection)] = runtime
+        return runtime
+
+    def _runtime(self, tenant: str, collection: str) -> CollectionRuntime:
+        runtime = self._runtimes.get((tenant, collection))
+        if runtime is None:
+            ledger = self._tenant(tenant)
+            if collection in ledger.collections or not self.config.auto_register:
+                # A persisted collection always has a runtime (built at
+                # startup), so this is an unknown collection.
+                raise ServiceError(
+                    f"unknown collection {collection!r} for tenant {tenant!r}",
+                    code="unknown_collection",
+                    status=404,
+                )
+            runtime = self.open_collection(tenant, collection)
+        return runtime
+
+    # ------------------------------------------------------------------
+    # endpoint bodies
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /v1/health``."""
+        return {
+            "status": "ok",
+            "wire_version": wire.WIRE_VERSION,
+            "schema": wire.schema_descriptor(self.schema),
+            "tenants": len(self._tenants),
+            "collections": len(self._runtimes),
+        }
+
+    def ledger_summary(self, tenant: str | None = None) -> dict:
+        """``GET /v1/ledger`` (all tenants) or ``/v1/ledger/<tenant>``."""
+        if tenant is not None:
+            ledger = self._tenants.get(tenant)
+            if ledger is None:
+                raise ServiceError(
+                    f"unknown tenant {tenant!r}",
+                    code="unknown_tenant",
+                    status=404,
+                )
+            return {"tenant": tenant, "ledger": ledger.to_dict()}
+        return {
+            "tenants": [
+                {
+                    "tenant": name,
+                    "collections": len(ledger.collections),
+                    "records": sum(
+                        record.records
+                        for record in ledger.collections.values()
+                    ),
+                    "budget_rho1": ledger.budget.rho1,
+                    "budget_rho2": ledger.budget.rho2,
+                    "budget_amplification": ledger.budget.gamma,
+                    "cumulative_amplification": (
+                        ledger.cumulative_amplification()
+                    ),
+                    "cumulative_rho2": ledger.cumulative_rho2(),
+                    "headroom": ledger.headroom(),
+                }
+                for name, ledger in sorted(self._tenants.items())
+            ]
+        }
+
+    def handle_tenants(self, body: dict) -> dict:
+        """``POST /v1/tenants``."""
+        ledger = self.register_tenant(
+            wire.tenant_name(body), body.get("rho1"), body.get("rho2")
+        )
+        return {"tenant": ledger.tenant, "ledger": ledger.to_dict()}
+
+    def handle_collections(self, body: dict) -> dict:
+        """``POST /v1/collections``."""
+        tenant = wire.tenant_name(body)
+        collection = wire.collection_name(body)
+        seed = body.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ServiceError("field 'seed' must be an integer")
+        runtime = self.open_collection(
+            tenant, collection, body.get("mechanism"), seed
+        )
+        ledger = self._tenants[tenant]
+        return {
+            "tenant": tenant,
+            "collection": collection,
+            "seed": runtime.record.seed,
+            "statement": runtime.record.statement.to_dict(),
+            "cumulative_amplification": ledger.cumulative_amplification(),
+            "cumulative_rho2": ledger.cumulative_rho2(),
+            "headroom": ledger.headroom(),
+        }
+
+    def handle_perturb(self, body: dict) -> dict:
+        """``POST /v1/perturb`` -- stateless, ledger-free perturbation.
+
+        The respondent-side utility: perturbing a record before it
+        leaves the client consumes no tenant budget (nothing unperturbed
+        is ever stored).  Bit-identical to the offline
+        ``engine.perturb(dataset, seed)`` for the same seed.
+        """
+        records = wire.decode_records(self.schema, wire.require(body, "records"))
+        spec = MechanismSpec.from_dict(
+            body.get("mechanism") or self.config.mechanism
+        )
+        try:
+            mechanism = from_spec(spec, self.schema)
+        except (FrappError, TypeError) as error:
+            raise ServiceError(
+                f"cannot build mechanism {spec.name!r}: {error}",
+                code="bad_mechanism",
+            ) from None
+        seed = body.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ServiceError("field 'seed' must be an integer")
+        stream = SequentialPerturbStream(mechanism, seed=seed)
+        return {
+            "records": wire.encode_records(stream.perturb_batch(records)),
+            "mechanism": spec.canonical(),
+        }
+
+    async def handle_submit(self, body: dict) -> dict:
+        """``POST /v1/submit`` -- micro-batched, spooled, acknowledged."""
+        tenant = wire.tenant_name(body)
+        collection = wire.collection_name(body)
+        records = wire.decode_records(self.schema, wire.require(body, "records"))
+        runtime = self._runtime(tenant, collection)
+        result, offset, n = await runtime.batcher.submit(records)
+        response = {
+            "tenant": tenant,
+            "collection": collection,
+            "accepted": n,
+            "start": result["start"] + offset,
+            "stop": result["start"] + offset + n,
+            "spooled": runtime.spool.n_records,
+        }
+        if body.get("return_records"):
+            response["records"] = wire.encode_records(
+                result["perturbed"][offset : offset + n]
+            )
+        return response
+
+    def handle_reconstruct(self, body: dict) -> dict:
+        """``POST /v1/reconstruct`` -- itemset supports from the spool."""
+        tenant = wire.tenant_name(body)
+        collection = wire.collection_name(body)
+        itemsets = wire.decode_itemsets(
+            self.schema, wire.require(body, "itemsets")
+        )
+        runtime = self._runtime(tenant, collection)
+        supports = runtime.estimator().supports(itemsets)
+        return {
+            "tenant": tenant,
+            "collection": collection,
+            "n_records": runtime.spool.n_records,
+            "supports": [float(s) for s in supports],
+        }
+
+    def handle_mine(self, body: dict) -> dict:
+        """``POST /v1/mine`` -- Apriori over reconstructed supports."""
+        tenant = wire.tenant_name(body)
+        collection = wire.collection_name(body)
+        min_support = body.get("min_support", 0.02)
+        if not isinstance(min_support, (int, float)) or not 0 < min_support <= 1:
+            raise ServiceError(
+                f"field 'min_support' must lie in (0, 1], got {min_support!r}"
+            )
+        max_length = body.get("max_length")
+        if max_length is not None and (
+            not isinstance(max_length, int) or max_length < 1
+        ):
+            raise ServiceError("field 'max_length' must be a positive integer")
+        runtime = self._runtime(tenant, collection)
+        result = apriori(
+            runtime.estimator(), self.schema, float(min_support), max_length
+        )
+        return {
+            "tenant": tenant,
+            "collection": collection,
+            "n_records": runtime.spool.n_records,
+            "min_support": float(min_support),
+            "itemsets": [
+                {
+                    "length": length,
+                    "itemsets": [
+                        dict(wire.encode_itemset(its), support=float(support))
+                        for its, support in sorted(level.items())
+                    ],
+                }
+                for length, level in sorted(result.by_length.items())
+            ],
+        }
+
+    async def drain(self) -> None:
+        """Flush every pending micro-batch (shutdown path)."""
+        for runtime in self._runtimes.values():
+            await runtime.batcher.drain()
+
+    def close(self) -> None:
+        """Close every spool handle."""
+        for runtime in self._runtimes.values():
+            runtime.close()
+
+
+class ServiceServer:
+    """JSON-over-HTTP/1.1 front end for a :class:`PerturbationService`.
+
+    Stdlib-only: ``asyncio.start_server`` plus hand-rolled
+    Content-Length framing (no chunked encoding; requests and responses
+    are single JSON documents).  Connections are keep-alive until the
+    client closes or sends ``Connection: close``.
+    """
+
+    def __init__(self, service: PerturbationService, host="127.0.0.1", port=0):
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    async def start(self) -> int:
+        """Bind and start serving; returns the actual port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain pending batches, close spools.
+
+        Live keep-alive connections (idle in their read loop) are
+        cancelled explicitly so shutdown never leaves tasks for the
+        event loop to complain about.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self.service.drain()
+        self.service.close()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer):
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self._dispatch(method, path, body)
+                close = headers.get("connection", "").lower() == "close"
+                await self._write_response(writer, status, payload, close)
+                if close:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown path: stop() cancelled an idle keep-alive
+            # connection; close the socket and finish quietly.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, OSError):  # pragma: no cover
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise ServiceError(f"malformed request line: {request_line!r}")
+        method, path, _version = parts
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte cap",
+                status=413,
+                code="body_too_large",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _dispatch(self, method: str, path: str, raw_body: bytes):
+        try:
+            body = json.loads(raw_body.decode("utf-8")) if raw_body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, wire.error_body(
+                ServiceError(f"request body is not valid JSON: {error}")
+            )
+        try:
+            return 200, await self._route(method, path, body)
+        except ServiceError as error:
+            return error.status, wire.error_body(error)
+        except FrappError as error:
+            return 400, wire.error_body(
+                ServiceError(str(error), code="frapp_error")
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            return 500, wire.error_body(
+                ServiceError(
+                    f"internal error: {error}",
+                    status=500,
+                    code="internal_error",
+                )
+            )
+
+    async def _route(self, method: str, path: str, body: dict) -> dict:
+        service = self.service
+        if method == "GET":
+            if path == "/v1/health":
+                return service.health()
+            if path == "/v1/ledger":
+                return service.ledger_summary()
+            if path.startswith("/v1/ledger/"):
+                return service.ledger_summary(path[len("/v1/ledger/") :])
+        elif method == "POST":
+            if path == "/v1/tenants":
+                return service.handle_tenants(body)
+            if path == "/v1/collections":
+                return service.handle_collections(body)
+            if path == "/v1/perturb":
+                return service.handle_perturb(body)
+            if path == "/v1/submit":
+                return await service.handle_submit(body)
+            if path == "/v1/reconstruct":
+                return service.handle_reconstruct(body)
+            if path == "/v1/mine":
+                return service.handle_mine(body)
+        raise ServiceError(
+            f"no such endpoint: {method} {path}", status=404, code="not_found"
+        )
+
+    @staticmethod
+    async def _write_response(writer, status: int, payload: dict, close: bool):
+        reasons = {200: "OK", 400: "Bad Request", 403: "Forbidden",
+                   404: "Not Found", 409: "Conflict",
+                   413: "Payload Too Large", 500: "Internal Server Error"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+async def run_server(config: ServiceConfig, host="127.0.0.1", port=0, announce=None):
+    """Build the service, bind, announce the port, and serve forever.
+
+    ``announce`` is called with the bound port once the server is
+    listening (the CLI prints the URL; tests and the smoke harness
+    parse it).
+    """
+    server = ServiceServer(PerturbationService(config), host=host, port=port)
+    bound = await server.start()
+    if announce is not None:
+        announce(bound)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

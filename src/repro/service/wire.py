@@ -1,0 +1,160 @@
+"""Wire schema of the always-on perturbation service.
+
+Requests and responses are JSON objects over HTTP/1.1.  This module is
+the single place the formats live: field validation for every endpoint
+body, record encoding/decoding against the service schema, and the
+structured error body that carries refusals (including the ledger's
+HTTP 403 budget refusals) to clients.
+
+Error body::
+
+    {"error": {"code": "budget_exceeded",
+               "message": "...",
+               ...structured details...}}
+
+Records travel as JSON arrays of category-index rows
+(``[[0, 3, 1, ...], ...]``), validated against the schema on arrival;
+responses reuse the same encoding.  Itemsets travel as
+``{"attributes": [...], "values": [...]}`` pairs, matching
+:class:`repro.mining.itemsets.Itemset`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.backing import record_dtype, validate_in_domain
+from repro.data.schema import Schema
+from repro.exceptions import DataError, FrappError, ServiceError
+from repro.mining.itemsets import Itemset
+
+#: Wire-format version announced by ``GET /v1/health``.
+WIRE_VERSION = 1
+
+#: Hard cap on records per request (keeps request bodies bounded).
+MAX_RECORDS_PER_REQUEST = 100_000
+
+
+def error_body(error: ServiceError) -> dict:
+    """The structured error body for a :class:`ServiceError`."""
+    body = {"code": error.code, "message": str(error)}
+    body.update(error.details)
+    return {"error": body}
+
+
+def require(body: dict, field: str, kind=None):
+    """Fetch a required field from a request body, with type checking."""
+    if not isinstance(body, dict):
+        raise ServiceError("request body must be a JSON object")
+    if field not in body:
+        raise ServiceError(f"missing required field {field!r}")
+    value = body[field]
+    if kind is not None and not isinstance(value, kind):
+        expected = kind.__name__ if isinstance(kind, type) else kind
+        raise ServiceError(
+            f"field {field!r} must be {expected}, got {type(value).__name__}"
+        )
+    return value
+
+
+def tenant_name(body: dict) -> str:
+    """Validated ``tenant`` field (a path-safe non-empty identifier)."""
+    name = require(body, "tenant", str)
+    if not name or not all(c.isalnum() or c in "-_." for c in name):
+        raise ServiceError(
+            f"tenant names must be non-empty and [-_.a-zA-Z0-9], got {name!r}"
+        )
+    return name
+
+
+def collection_name(body: dict) -> str:
+    """Validated ``collection`` field (defaults to ``"default"``)."""
+    name = body.get("collection", "default")
+    if not isinstance(name, str) or not name or not all(
+        c.isalnum() or c in "-_." for c in name
+    ):
+        raise ServiceError(
+            f"collection names must be non-empty and [-_.a-zA-Z0-9], got {name!r}"
+        )
+    return name
+
+
+def decode_records(schema: Schema, rows) -> np.ndarray:
+    """Decode a JSON ``records`` payload into a validated compact array."""
+    if not isinstance(rows, list) or not rows:
+        raise ServiceError("field 'records' must be a non-empty array of rows")
+    if len(rows) > MAX_RECORDS_PER_REQUEST:
+        raise ServiceError(
+            f"at most {MAX_RECORDS_PER_REQUEST} records per request, "
+            f"got {len(rows)}"
+        )
+    try:
+        records = np.asarray(rows, dtype=np.int64)
+    except (TypeError, ValueError):
+        raise ServiceError("records must be rows of integers") from None
+    if records.ndim != 2 or records.shape[1] != schema.n_attributes:
+        raise ServiceError(
+            f"records must have {schema.n_attributes} attributes per row, "
+            f"got shape {tuple(records.shape)}"
+        )
+    try:
+        validate_in_domain(schema, records)
+    except DataError as error:
+        raise ServiceError(str(error)) from None
+    return records.astype(record_dtype(schema), copy=False)
+
+
+def encode_records(records: np.ndarray) -> list:
+    """Encode a record array as JSON rows (inverse of decode)."""
+    return np.asarray(records, dtype=np.int64).tolist()
+
+
+def decode_itemsets(schema: Schema, payload) -> list[Itemset]:
+    """Decode a JSON ``itemsets`` payload into :class:`Itemset` objects."""
+    if not isinstance(payload, list) or not payload:
+        raise ServiceError("field 'itemsets' must be a non-empty array")
+    itemsets = []
+    for entry in payload:
+        if not isinstance(entry, dict):
+            raise ServiceError(
+                "each itemset must be {'attributes': [...], 'values': [...]}"
+            )
+        attributes = entry.get("attributes")
+        values = entry.get("values")
+        if not isinstance(attributes, list) or not isinstance(values, list):
+            raise ServiceError(
+                "each itemset must be {'attributes': [...], 'values': [...]}"
+            )
+        if len(attributes) != len(values):
+            raise ServiceError(
+                f"itemset attributes/values length mismatch in {entry!r}"
+            )
+        try:
+            itemsets.append(Itemset(zip(attributes, values)))
+        except (TypeError, ValueError, FrappError) as error:
+            raise ServiceError(f"invalid itemset {entry!r}: {error}") from None
+        attrs = itemsets[-1].attributes
+        if any(a < 0 or a >= schema.n_attributes for a in attrs):
+            raise ServiceError(
+                f"itemset attributes {attrs} out of range for "
+                f"{schema.n_attributes} attributes"
+            )
+    return itemsets
+
+
+def encode_itemset(itemset: Itemset) -> dict:
+    """Encode one itemset for the wire (inverse of decode)."""
+    return {
+        "attributes": list(itemset.attributes),
+        "values": list(itemset.values),
+    }
+
+
+def schema_descriptor(schema: Schema) -> dict:
+    """The schema block ``GET /v1/health`` announces to clients."""
+    return {
+        "attributes": [
+            {"name": attr.name, "categories": list(attr.categories)}
+            for attr in schema
+        ],
+    }

@@ -22,6 +22,8 @@ from repro.store.store import (
     STORE_VERSION,
     CacheEntry,
     ResultStore,
+    atomic_write_bytes,
+    atomic_write_json,
     default_store_root,
 )
 
@@ -29,6 +31,8 @@ __all__ = [
     "CacheEntry",
     "ResultStore",
     "STORE_VERSION",
+    "atomic_write_bytes",
+    "atomic_write_json",
     "cache_key",
     "canonical_json",
     "code_fingerprint",

@@ -66,6 +66,43 @@ def _sha256(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+def atomic_write_bytes(path, data: bytes, *, fsync: bool = False) -> None:
+    """Write ``data`` to ``path`` atomically (write-temp + ``os.replace``).
+
+    The store's durability primitive, exposed for other on-disk state
+    (the service's per-tenant privacy ledgers): a crash mid-write leaves
+    either the old file or the new one, never a torn mix.  With
+    ``fsync`` the temp file is flushed to stable storage before the
+    rename, so the new contents survive power loss once the call
+    returns.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise
+
+
+def atomic_write_json(path, payload, *, fsync: bool = False) -> None:
+    """Serialise ``payload`` and :func:`atomic_write_bytes` it to ``path``.
+
+    Keys are sorted and the rendering is stable, so repeated writes of
+    equal state produce byte-identical files (diffable ledgers).
+    """
+    data = json.dumps(payload, sort_keys=True, indent=1, allow_nan=False)
+    atomic_write_bytes(path, data.encode("utf-8"), fsync=fsync)
+
+
 @dataclass(frozen=True)
 class CacheEntry:
     """One committed store entry, as listed by :meth:`ResultStore.entries`."""
@@ -99,17 +136,7 @@ class ResultStore:
         return self.objects_dir / f"{key}.npz"
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
-        fd, tmp = tempfile.mkstemp(dir=self.objects_dir, prefix=".tmp-")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except FileNotFoundError:
-                pass
-            raise
+        atomic_write_bytes(path, data)
 
     # ------------------------------------------------------------------
     # read / write

@@ -1,0 +1,149 @@
+"""The stable ``repro.api`` facade and its pinned surface.
+
+Covers: Session/offline-engine bit-identity (direct and pipelined),
+mechanism designator resolution, the one-shot module functions, the
+``connect`` address parser, and the committed-surface gate.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+from repro.exceptions import ExperimentError
+from repro.mechanisms import MechanismSpec, create
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def data():
+    return repro.generate_census(600, seed=3)
+
+
+@pytest.fixture(scope="module")
+def offline(data):
+    return create("det-gd", data.schema, gamma=19.0).perturb(data, seed=7)
+
+
+class TestSession:
+    def test_perturb_bit_identical_to_engine(self, data, offline):
+        session = api.Session(data.schema, mechanism="det-gd", seed=7)
+        released = session.perturb(data)
+        np.testing.assert_array_equal(released.records, offline.records)
+
+    def test_pipelined_session_bit_identical(self, data, offline):
+        session = api.Session(
+            data.schema, mechanism="det-gd", seed=7, chunk_size=101
+        )
+        released = session.perturb(data)
+        np.testing.assert_array_equal(released.records, offline.records)
+
+    def test_mechanism_designators_are_equivalent(self, data, offline):
+        spellings = [
+            {"mechanism": "det-gd"},
+            {"mechanism": {"name": "det-gd", "params": {"gamma": 19.0}}},
+            {"mechanism": MechanismSpec("det-gd", {"gamma": 19.0})},
+            {"mechanism": create("det-gd", data.schema, gamma=19.0)},
+            {"mechanism": "det-gd", "params": {"gamma": 19.0}},
+        ]
+        for kwargs in spellings:
+            session = api.Session(data.schema, seed=7, **kwargs)
+            np.testing.assert_array_equal(
+                session.perturb(data).records, offline.records
+            )
+
+    def test_raw_array_input(self, data, offline):
+        session = api.Session(data.schema, mechanism="det-gd", seed=7)
+        released = session.perturb(np.asarray(data.records))
+        np.testing.assert_array_equal(released.records, offline.records)
+
+    def test_reconstruct_matches_marginal_inversion(self, data, offline):
+        from repro.mechanisms.base import MarginalInversionEstimator
+        from repro.mining.itemsets import Itemset
+
+        session = api.Session(data.schema, mechanism="det-gd", seed=7)
+        itemsets = [Itemset([(0, 1)]), [(1, 2), (2, 0)]]
+        supports = session.reconstruct(offline, itemsets)
+        mechanism = create("det-gd", data.schema, gamma=19.0)
+        reference = MarginalInversionEstimator(
+            mechanism, offline.subset_counts, offline.n_records
+        )
+        expected = reference.supports(
+            [Itemset([(0, 1)]), Itemset([(1, 2), (2, 0)])]
+        )
+        np.testing.assert_array_equal(supports, expected)
+
+    def test_mine_returns_apriori_result(self, data):
+        session = api.Session(data.schema, mechanism="det-gd", seed=7)
+        result = session.mine(data, 0.3, max_length=2)
+        assert result.max_length <= 2
+        assert result.n_frequent > 0
+
+    def test_schema_mismatch_and_bad_designator(self, data):
+        from repro.data import health_schema
+
+        with pytest.raises(ExperimentError):
+            api.Session(
+                health_schema(),
+                mechanism=create("det-gd", data.schema, gamma=19.0),
+            )
+        with pytest.raises(ExperimentError):
+            api.Session(data.schema, mechanism=42)
+        with pytest.raises(ExperimentError):
+            api.Session(
+                data.schema,
+                mechanism=create("det-gd", data.schema, gamma=19.0),
+                params={"gamma": 3.0},
+            )
+
+
+class TestModuleFunctions:
+    def test_one_shot_perturb(self, data, offline):
+        released = api.perturb(data, seed=7)
+        np.testing.assert_array_equal(released.records, offline.records)
+        # Also via the top-level re-export.
+        released = repro.perturb(data, seed=7)
+        np.testing.assert_array_equal(released.records, offline.records)
+
+    def test_one_shot_reconstruct_and_mine(self, data, offline):
+        supports = api.reconstruct(offline, [[(0, 1)]])
+        assert supports.shape == (1,)
+        result = api.mine(data, 0.3, seed=7, max_length=1)
+        assert result.n_frequent > 0
+
+
+class TestConnect:
+    def test_address_forms(self):
+        client = api.connect("http://10.0.0.5:9000/")
+        assert (client.host, client.port) == ("10.0.0.5", 9000)
+        client = api.connect("example.org:8001")
+        assert (client.host, client.port) == ("example.org", 8001)
+        client = api.connect(7777)
+        assert (client.host, client.port) == ("127.0.0.1", 7777)
+        client = api.connect()
+        assert (client.host, client.port) == ("127.0.0.1", 8417)
+        with pytest.raises(ExperimentError):
+            api.connect("host:not-a-port")
+
+
+class TestSurfaceGate:
+    def test_facade_is_re_exported(self):
+        for name in api.__all__:
+            assert getattr(repro, name) is getattr(api, name)
+            assert name in repro.__all__
+
+    def test_committed_surface_matches(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_api_surface.py")],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -317,3 +317,56 @@ class TestPrivacyGammaTolerance:
         explicit_out = capsys.readouterr().out
         assert default_out == explicit_out
         assert "admits" in explicit_out
+
+
+class TestUnifiedKnobs:
+    """The shared execution-knob parent parser and its golden help."""
+
+    def test_help_matches_golden(self, monkeypatch):
+        import pathlib
+
+        monkeypatch.setenv("COLUMNS", "80")
+        golden = pathlib.Path(__file__).parent / "data" / "frapp_help.txt"
+        assert build_parser().format_help() == golden.read_text(), (
+            "frapp --help drifted; regenerate tests/data/frapp_help.txt with "
+            "COLUMNS=80 python -c \"from repro.experiments.cli import "
+            "build_parser; print(build_parser().format_help(), end='')\" "
+            "if the change is intentional"
+        )
+
+    @pytest.mark.parametrize(
+        ("alias", "value", "dest", "expected"),
+        [
+            ("--num-workers", "3", "workers", 3),
+            ("--chunksize", "128", "chunk_size", 128),
+            ("--counting-backend", "loops", "count_backend", "loops"),
+            ("--dispatch-mode", "shm", "dispatch", "shm"),
+            ("--n-jobs", "2", "jobs", 2),
+        ],
+    )
+    def test_deprecated_aliases_warn_and_forward(
+        self, alias, value, dest, expected
+    ):
+        # FutureWarning, not DeprecationWarning: the latter is ignored
+        # by default, and these warnings target shell users.
+        with pytest.warns(FutureWarning, match="deprecated"):
+            args = build_parser().parse_args(["table1", alias, value])
+        assert getattr(args, dest) == expected
+
+    def test_aliases_hidden_from_help(self, monkeypatch):
+        monkeypatch.setenv("COLUMNS", "80")
+        text = build_parser().format_help()
+        for alias in (
+            "--num-workers",
+            "--chunksize",
+            "--counting-backend",
+            "--dispatch-mode",
+            "--n-jobs",
+        ):
+            assert alias not in text
+
+    def test_canonical_spellings_still_parse(self):
+        args = build_parser().parse_args(
+            ["fig1", "--workers", "2", "--chunk-size", "64", "--jobs", "3"]
+        )
+        assert (args.workers, args.chunk_size, args.jobs) == (2, 64, 3)

@@ -1,0 +1,691 @@
+"""The always-on service: spool durability, ledgers, batching, HTTP.
+
+The load-bearing claims under test:
+
+* ``FrdSpool`` appends survive crashes: recovery truncates to complete
+  (and acknowledged) rows, including a torn column file;
+* the per-tenant ledger charges, persists atomically, refuses over
+  budget with a structured error, allows exact exhaustion, and never
+  silently resets corrupt state;
+* statement merging is order-invariant and JSON round-trips exactly
+  (Hypothesis);
+* the micro-batcher coalesces submissions in arrival order and flushes
+  on both thresholds;
+* the HTTP service's perturbation is bit-identical to the offline
+  engine for any submission partition, across restarts, and refuses
+  budget breaches with HTTP 403.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.privacy import PrivacyRequirement, rho2_from_gamma
+from repro.data import census_schema, generate_census
+from repro.data.io import FrdSpool
+from repro.exceptions import BudgetExceededError, PrivacyError, ServiceError
+from repro.mechanisms import MechanismSpec, PrivacyAccountant, from_spec
+from repro.mechanisms.accountant import PrivacyStatement
+from repro.mechanisms.base import MarginalInversionEstimator
+from repro.mining.itemsets import Itemset
+from repro.pipeline.batch import SequentialPerturbStream
+from repro.service import (
+    LedgerStore,
+    MicroBatcher,
+    PerturbationService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    derive_collection_seed,
+)
+from repro.service import wire
+
+RHO1 = 0.05
+GAMMA = 19.0
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return census_schema()
+
+
+@pytest.fixture(scope="module")
+def data(schema):
+    return generate_census(400, seed=5)
+
+
+def make_config(schema, tmp_path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        schema=schema,
+        data_dir=str(tmp_path / "state"),
+        rho1=RHO1,
+        rho2=rho2_from_gamma(RHO1, GAMMA),
+        mechanism={"name": "det-gd", "params": {"gamma": GAMMA}},
+        seed=1234,
+        max_latency=0.002,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def run_service(config: ServiceConfig, client_fn):
+    """Start a real server, run ``client_fn(port)`` in a thread, stop."""
+
+    async def main():
+        server = ServiceServer(PerturbationService(config), port=0)
+        port = await server.start()
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(None, client_fn, port)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+def offline_perturb(schema, data, seed):
+    engine = from_spec(MechanismSpec("det-gd", {"gamma": GAMMA}), schema)
+    return engine.perturb(data, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# FrdSpool durability
+# ----------------------------------------------------------------------
+
+
+class TestFrdSpool:
+    def test_append_and_read_back(self, schema, data, tmp_path):
+        with FrdSpool(schema, tmp_path / "a.frd") as spool:
+            start, stop = spool.append(data.records[:150])
+            assert (start, stop) == (0, 150)
+            start, stop = spool.append(data.records[150:])
+            assert (start, stop) == (150, 400)
+            assert len(spool) == 400
+            np.testing.assert_array_equal(
+                spool.records(0, 400), data.records
+            )
+            np.testing.assert_array_equal(
+                spool.records(150, 160), data.records[150:160]
+            )
+
+    def test_reopen_recovers_all_rows(self, schema, data, tmp_path):
+        with FrdSpool(schema, tmp_path / "a.frd") as spool:
+            spool.append(data.records)
+        with FrdSpool(schema, tmp_path / "a.frd") as spool:
+            assert spool.n_records == 400
+            np.testing.assert_array_equal(spool.records(0, 400), data.records)
+
+    def test_torn_column_truncates_to_complete_rows(self, schema, data, tmp_path):
+        with FrdSpool(schema, tmp_path / "a.frd") as spool:
+            spool.append(data.records)
+        # Tear the last column file mid-record: recovery must drop the
+        # incomplete tail from EVERY column.
+        torn = sorted(tmp_path.glob("a.frd.col*.spool"))[-1]
+        torn.write_bytes(torn.read_bytes()[:-3])
+        with FrdSpool(schema, tmp_path / "a.frd") as spool:
+            assert spool.n_records < 400
+            complete = spool.n_records
+            np.testing.assert_array_equal(
+                spool.records(0, complete), data.records[:complete]
+            )
+            # The spool stays appendable after recovery.
+            spool.append(data.records[complete:])
+            np.testing.assert_array_equal(spool.records(0, 400), data.records)
+
+    def test_expected_records_caps_recovery(self, schema, data, tmp_path):
+        with FrdSpool(schema, tmp_path / "a.frd") as spool:
+            spool.append(data.records)
+        # An unacknowledged fsynced tail: the ledger only acked 300.
+        with FrdSpool(schema, tmp_path / "a.frd", expected_records=300) as spool:
+            assert spool.n_records == 300
+            np.testing.assert_array_equal(
+                spool.records(0, 300), data.records[:300]
+            )
+
+    def test_to_dataset_and_checkpoint(self, schema, data, tmp_path):
+        with FrdSpool(schema, tmp_path / "a.frd") as spool:
+            spool.append(data.records)
+            dataset = spool.to_dataset()
+            assert dataset.n_records == 400
+            np.testing.assert_array_equal(dataset.records, data.records)
+            spool.checkpoint()
+            from repro.data import open_frd
+
+            frd = open_frd(tmp_path / "a.frd")
+            np.testing.assert_array_equal(frd.records(0, 400), data.records)
+            # Still appendable after the checkpoint.
+            spool.append(data.records[:10])
+            assert spool.n_records == 410
+
+
+# ----------------------------------------------------------------------
+# ledger accounting
+# ----------------------------------------------------------------------
+
+
+def statement_for(gamma: float) -> PrivacyStatement:
+    schema = census_schema()
+    mechanism = from_spec(MechanismSpec("det-gd", {"gamma": gamma}), schema)
+    return PrivacyAccountant(rho1=RHO1).statement(mechanism)
+
+
+class TestLedger:
+    def budget(self, gamma: float) -> PrivacyRequirement:
+        return PrivacyRequirement(RHO1, rho2_from_gamma(RHO1, gamma))
+
+    def test_charge_accumulates_product(self, tmp_path):
+        store = LedgerStore(tmp_path)
+        ledger = store.create("t", self.budget(400.0))
+        ledger.charge("a", statement_for(19.0), seed=1)
+        ledger.charge("b", statement_for(19.0), seed=2)
+        assert ledger.cumulative_amplification() == pytest.approx(361.0)
+        assert ledger.cumulative_rho2() == pytest.approx(
+            rho2_from_gamma(RHO1, 361.0)
+        )
+
+    def test_refusal_is_structured_and_leaves_state(self, tmp_path):
+        store = LedgerStore(tmp_path)
+        ledger = store.create("t", self.budget(20.0))
+        ledger.charge("a", statement_for(19.0), seed=1)
+        before = ledger.to_dict()
+        with pytest.raises(BudgetExceededError) as excinfo:
+            ledger.charge("b", statement_for(19.0), seed=2)
+        error = excinfo.value
+        assert error.status == 403
+        assert error.code == "budget_exceeded"
+        assert error.details["tenant"] == "t"
+        assert error.details["projected_amplification"] == pytest.approx(361.0)
+        # The refused charge must not have touched anything.
+        assert ledger.to_dict() == before
+        assert "b" not in ledger.collections
+
+    def test_exact_exhaustion_is_admitted(self, tmp_path):
+        """A sequence that lands exactly on the budget: charge, charge,
+        refuse -- with the final refusal keeping the earlier spend."""
+        store = LedgerStore(tmp_path)
+        ledger = store.create("t", self.budget(19.0 * 19.0))
+        ledger.charge("a", statement_for(19.0), seed=1)
+        ledger.charge("b", statement_for(19.0), seed=2)  # exactly exhausts
+        assert ledger.headroom() == pytest.approx(1.0)
+        with pytest.raises(BudgetExceededError):
+            ledger.charge("c", statement_for(1.5), seed=3)
+        assert sorted(ledger.collections) == ["a", "b"]
+
+    def test_duplicate_collection_conflicts(self, tmp_path):
+        ledger = LedgerStore(tmp_path).create("t", self.budget(400.0))
+        ledger.charge("a", statement_for(19.0), seed=1)
+        with pytest.raises(ServiceError) as excinfo:
+            ledger.charge("a", statement_for(2.0), seed=2)
+        assert excinfo.value.code == "collection_exists"
+        assert excinfo.value.status == 409
+
+    def test_persist_and_reload_bitwise(self, tmp_path):
+        store = LedgerStore(tmp_path)
+        ledger = store.create("t", self.budget(400.0))
+        ledger.charge("a", statement_for(19.0), seed=1)
+        ledger.charge("b", statement_for(3.0), seed=2)
+        ledger.collections["a"].records = 123
+        store.save(ledger)
+        reloaded = store.load("t")
+        assert reloaded.to_dict() == ledger.to_dict()
+        assert reloaded.cumulative_rho2() == ledger.cumulative_rho2()
+        assert store.tenants() == ["t"]
+
+    def test_corrupt_ledger_never_resets(self, tmp_path):
+        store = LedgerStore(tmp_path)
+        ledger = store.create("t", self.budget(400.0))
+        path = store.tenant_dir("t") / "ledger.json"
+        path.write_text("{ not json")
+        with pytest.raises(ServiceError) as excinfo:
+            store.load("t")
+        assert excinfo.value.code == "ledger_corrupt"
+        assert excinfo.value.status == 500
+
+    def test_prior_mismatch_rejected(self, tmp_path):
+        ledger = LedgerStore(tmp_path).create(
+            "t", PrivacyRequirement(0.10, 0.50)
+        )
+        with pytest.raises(ServiceError):
+            ledger.charge("a", statement_for(19.0), seed=1)  # rho1=0.05
+
+
+# ----------------------------------------------------------------------
+# statement merge: order invariance + serialisation (Hypothesis)
+# ----------------------------------------------------------------------
+
+
+gammas = st.lists(
+    st.floats(min_value=1.01, max_value=50.0, allow_nan=False),
+    min_size=2,
+    max_size=6,
+)
+
+
+class TestStatementMerge:
+    @given(gammas=gammas, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_order_never_changes_reported_rho(self, gammas, seed):
+        statements = [
+            PrivacyStatement(
+                mechanism=f"m{i}",
+                spec={"name": f"m{i}", "params": {}},
+                amplification=g,
+                rho1=RHO1,
+                rho2=rho2_from_gamma(RHO1, g),
+            )
+            for i, g in enumerate(gammas)
+        ]
+        rng = np.random.default_rng(seed)
+
+        def fold(order):
+            items = [statements[i] for i in order]
+            merged = items[0]
+            for item in items[1:]:
+                merged = merged.merge(item)
+            return merged
+
+        left = fold(range(len(statements)))
+        shuffled = fold(rng.permutation(len(statements)))
+        assert left.amplification == shuffled.amplification
+        assert left.rho2 == shuffled.rho2
+        assert left.rho1 == shuffled.rho1
+        assert left.factors == shuffled.factors
+        # And a right-fold via a different tree shape: pairwise halves.
+        if len(statements) >= 4:
+            half = len(statements) // 2
+            tree = fold(range(half)).merge(fold(range(half, len(statements))))
+            assert tree.amplification == left.amplification
+            assert tree.rho2 == left.rho2
+
+    @given(gammas=gammas)
+    @settings(max_examples=40, deadline=None)
+    def test_statement_json_round_trip_exact(self, gammas):
+        merged = statement_for(19.0)
+        for g in gammas:
+            merged = merged.merge(
+                PrivacyStatement(
+                    mechanism="x",
+                    spec={"name": "x", "params": {"gamma": g}},
+                    amplification=g,
+                    rho1=RHO1,
+                    rho2=rho2_from_gamma(RHO1, g),
+                )
+            )
+        wire_form = json.loads(json.dumps(merged.to_dict(), allow_nan=False))
+        back = PrivacyStatement.from_dict(wire_form)
+        assert back == merged
+
+    def test_unbounded_statement_serialises(self):
+        statement = PrivacyStatement(
+            mechanism="leaky",
+            spec={"name": "leaky", "params": {}},
+            amplification=math.inf,
+            rho1=RHO1,
+            rho2=1.0,
+        )
+        encoded = json.dumps(statement.to_dict(), allow_nan=False)
+        back = PrivacyStatement.from_dict(json.loads(encoded))
+        assert back.amplification == math.inf
+
+    def test_prior_mismatch_raises(self):
+        a = statement_for(19.0)
+        b = PrivacyStatement(
+            mechanism="x",
+            spec={"name": "x", "params": {}},
+            amplification=2.0,
+            rho1=0.10,
+            rho2=rho2_from_gamma(0.10, 2.0),
+        )
+        with pytest.raises(PrivacyError):
+            a.merge(b)
+
+
+# ----------------------------------------------------------------------
+# micro-batcher
+# ----------------------------------------------------------------------
+
+
+class TestMicroBatcher:
+    def test_coalesces_concurrent_submissions_in_order(self):
+        batches = []
+
+        def process(batch):
+            batches.append(batch.copy())
+            return {"rows": int(batch.shape[0])}
+
+        async def main():
+            batcher = MicroBatcher(process, max_batch=6, max_latency=60.0)
+            a = np.arange(8).reshape(4, 2)
+            b = np.arange(8, 14).reshape(3, 2)
+            results = await asyncio.gather(batcher.submit(a), batcher.submit(b))
+            return a, b, results
+
+        a, b, results = asyncio.run(main())
+        # 4 + 3 >= 6 triggered one immediate flush of the concatenation.
+        assert len(batches) == 1
+        np.testing.assert_array_equal(
+            batches[0], np.concatenate([a, b], axis=0)
+        )
+        (r1, off1, n1), (r2, off2, n2) = results
+        assert r1 is r2
+        assert (off1, n1) == (0, 4)
+        assert (off2, n2) == (4, 3)
+
+    def test_latency_flush_fires_without_reaching_max_batch(self):
+        def process(batch):
+            return {"rows": int(batch.shape[0])}
+
+        async def main():
+            batcher = MicroBatcher(process, max_batch=10_000, max_latency=0.005)
+            result, offset, n = await batcher.submit(np.zeros((3, 2), np.int64))
+            return batcher.batches_flushed, offset, n
+
+        flushed, offset, n = asyncio.run(main())
+        assert flushed == 1
+        assert (offset, n) == (0, 3)
+
+    def test_process_failure_propagates_to_all_waiters(self):
+        def process(batch):
+            raise RuntimeError("boom")
+
+        async def main():
+            batcher = MicroBatcher(process, max_batch=2, max_latency=60.0)
+            return await asyncio.gather(
+                batcher.submit(np.zeros((1, 2), np.int64)),
+                batcher.submit(np.zeros((1, 2), np.int64)),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ServiceError):
+            MicroBatcher(lambda b: b, max_batch=0)
+        with pytest.raises(ServiceError):
+            MicroBatcher(lambda b: b, max_latency=-1.0)
+
+
+# ----------------------------------------------------------------------
+# wire schema
+# ----------------------------------------------------------------------
+
+
+class TestWire:
+    def test_decode_records_round_trip(self, schema, data):
+        rows = wire.encode_records(data.records[:10])
+        decoded = wire.decode_records(schema, rows)
+        np.testing.assert_array_equal(decoded, data.records[:10])
+
+    def test_decode_rejects_bad_shapes_and_domains(self, schema):
+        with pytest.raises(ServiceError):
+            wire.decode_records(schema, [])
+        with pytest.raises(ServiceError):
+            wire.decode_records(schema, [[0, 1]])  # wrong width
+        too_big = [[999] * schema.n_attributes]
+        with pytest.raises(ServiceError):
+            wire.decode_records(schema, too_big)
+        with pytest.raises(ServiceError):
+            wire.decode_records(schema, [["a"] * schema.n_attributes])
+
+    def test_tenant_name_validation(self):
+        assert wire.tenant_name({"tenant": "acme-1.prod"}) == "acme-1.prod"
+        for bad in ("", "a/b", "../x", None, 7):
+            with pytest.raises(ServiceError):
+                wire.tenant_name({"tenant": bad})
+
+    def test_itemset_round_trip(self, schema):
+        itemset = Itemset([(0, 1), (2, 3)])
+        [decoded] = wire.decode_itemsets(
+            schema, [wire.encode_itemset(itemset)]
+        )
+        assert decoded == itemset
+        with pytest.raises(ServiceError):
+            wire.decode_itemsets(schema, [{"attributes": [0], "values": []}])
+        with pytest.raises(ServiceError):
+            wire.decode_itemsets(
+                schema, [{"attributes": [99], "values": [0]}]
+            )
+
+
+# ----------------------------------------------------------------------
+# the HTTP service end to end
+# ----------------------------------------------------------------------
+
+
+class TestServiceEndToEnd:
+    def test_submissions_bit_identical_to_offline(self, schema, data, tmp_path):
+        config = make_config(schema, tmp_path)
+
+        def drive(port):
+            client = ServiceClient(port=port)
+            assert client.health()["status"] == "ok"
+            # Deliberately odd partition: batch boundaries must not
+            # influence the perturbation stream.
+            for lo, hi in [(0, 7), (7, 130), (130, 131), (131, 400)]:
+                response = client.submit("acme", data.records[lo:hi])
+            assert response["spooled"] == 400
+            supports = client.reconstruct(
+                "acme", [{"attributes": [0], "values": [1]}]
+            )["supports"]
+            client.close()
+            return supports
+
+        supports = run_service(config, drive)
+        seed = derive_collection_seed(config.seed, "acme", "default")
+        offline = offline_perturb(schema, data, seed)
+        with FrdSpool(
+            schema, tmp_path / "state" / "acme" / "default.frd"
+        ) as spool:
+            np.testing.assert_array_equal(
+                spool.records(0, 400), offline.records
+            )
+        estimator = MarginalInversionEstimator(
+            from_spec(MechanismSpec("det-gd", {"gamma": GAMMA}), schema),
+            offline.subset_counts,
+            offline.n_records,
+        )
+        assert supports == [float(s) for s in estimator.supports([Itemset([(0, 1)])])]
+
+    def test_restart_resumes_bit_identically(self, schema, data, tmp_path):
+        config = make_config(schema, tmp_path)
+
+        def first_half(port):
+            ServiceClient(port=port).submit("acme", data.records[:250])
+
+        def second_half(port):
+            return ServiceClient(port=port).submit("acme", data.records[250:])
+
+        run_service(config, first_half)
+        response = run_service(make_config(schema, tmp_path), second_half)
+        assert response["spooled"] == 400
+        seed = derive_collection_seed(config.seed, "acme", "default")
+        offline = offline_perturb(schema, data, seed)
+        with FrdSpool(
+            schema, tmp_path / "state" / "acme" / "default.frd"
+        ) as spool:
+            np.testing.assert_array_equal(
+                spool.records(0, 400), offline.records
+            )
+
+    def test_budget_breach_is_http_403_with_details(self, schema, data, tmp_path):
+        config = make_config(
+            schema, tmp_path, rho2=rho2_from_gamma(RHO1, 20.0)
+        )
+
+        def drive(port):
+            client = ServiceClient(port=port)
+            client.submit("acme", data.records[:10])  # opens "default"
+            with pytest.raises(BudgetExceededError) as excinfo:
+                client.open_collection("acme", "second")
+            return excinfo.value
+
+        error = run_service(config, drive)
+        assert error.status == 403
+        assert error.code == "budget_exceeded"
+        assert error.details["collection"] == "second"
+        assert error.details["budget_amplification"] == pytest.approx(20.0)
+        assert error.details["projected_amplification"] == pytest.approx(361.0)
+
+    def test_exhaustion_sequence_first_refusal_keeps_spend(
+        self, schema, data, tmp_path
+    ):
+        config = make_config(
+            schema, tmp_path, rho2=rho2_from_gamma(RHO1, GAMMA * GAMMA)
+        )
+
+        def drive(port):
+            client = ServiceClient(port=port)
+            client.submit("acme", data.records[:10], collection="a")
+            client.submit("acme", data.records[10:20], collection="b")
+            with pytest.raises(BudgetExceededError):
+                client.submit("acme", data.records[20:30], collection="c")
+            summary = client.ledger()["tenants"][0]
+            ledger = client.ledger("acme")["ledger"]
+            return summary, ledger
+
+        summary, ledger = run_service(config, drive)
+        assert summary["headroom"] == pytest.approx(1.0)
+        assert sorted(ledger["collections"]) == ["a", "b"]
+        assert ledger["collections"]["a"]["records"] == 10
+
+    def test_stateless_perturb_matches_offline(self, schema, data, tmp_path):
+        config = make_config(schema, tmp_path)
+
+        def drive(port):
+            client = ServiceClient(port=port)
+            return client.perturb(
+                data.records[:50],
+                mechanism={"name": "det-gd", "params": {"gamma": GAMMA}},
+                seed=777,
+            )["records"]
+
+        perturbed = run_service(config, drive)
+        offline = offline_perturb(
+            schema,
+            type(data)._trusted(schema, data.records[:50].copy()),
+            777,
+        )
+        np.testing.assert_array_equal(
+            np.asarray(perturbed), offline.records
+        )
+
+    def test_mine_endpoint_returns_frequent_itemsets(self, schema, data, tmp_path):
+        config = make_config(schema, tmp_path)
+
+        def drive(port):
+            client = ServiceClient(port=port)
+            client.submit("acme", data.records)
+            return client.mine("acme", min_support=0.4, max_length=1)
+
+        result = run_service(config, drive)
+        assert result["n_records"] == 400
+        [level] = result["itemsets"]
+        assert level["length"] == 1
+        assert all(
+            entry["support"] >= 0.4 for entry in level["itemsets"]
+        )
+
+    def test_unknown_paths_and_bad_json_are_structured(self, schema, tmp_path):
+        config = make_config(schema, tmp_path)
+
+        def drive(port):
+            import http.client
+
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            conn.request("GET", "/nope")
+            missing = json.loads(conn.getresponse().read())
+            conn.request(
+                "POST",
+                "/v1/submit",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            bad = json.loads(conn.getresponse().read())
+            conn.close()
+            return missing, bad
+
+        missing, bad = run_service(config, drive)
+        assert missing["error"]["code"] == "not_found"
+        assert bad["error"]["code"] == "bad_request"
+
+    def test_auto_register_off_refuses_unknown_tenant(self, schema, data, tmp_path):
+        config = make_config(schema, tmp_path, auto_register=False)
+
+        def drive(port):
+            client = ServiceClient(port=port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit("stranger", data.records[:5])
+            assert excinfo.value.code == "unknown_tenant"
+            # Explicit registration then works.
+            client.register_tenant("known")
+            client.open_collection("known", "c")
+            response = client.submit("known", data.records[:5], collection="c")
+            return response
+
+        assert run_service(config, drive)["accepted"] == 5
+
+    def test_torn_spool_recovery_resumes_consistently(self, schema, data, tmp_path):
+        """Crash mid-append: a torn column plus a stale ledger ack must
+        recover to a consistent prefix and keep the stream bit-exact."""
+        config = make_config(schema, tmp_path)
+
+        def drive(port):
+            ServiceClient(port=port).submit("acme", data.records[:250])
+
+        run_service(config, drive)
+        spool_path = tmp_path / "state" / "acme" / "default.frd"
+        torn = sorted(spool_path.parent.glob("default.frd.col*.spool"))[-1]
+        torn.write_bytes(torn.read_bytes()[:-1])
+
+        def resume(port):
+            client = ServiceClient(port=port)
+            status = client.ledger("acme")["ledger"]["collections"]["default"]
+            # Recovery dropped the torn tail row.
+            assert status["records"] == 249
+            client.submit("acme", data.records[249:])
+            return client.ledger("acme")["ledger"]["collections"]["default"]
+
+        status = run_service(make_config(schema, tmp_path), resume)
+        assert status["records"] == 400
+        seed = derive_collection_seed(config.seed, "acme", "default")
+        offline = offline_perturb(schema, data, seed)
+        with FrdSpool(schema, spool_path) as spool:
+            np.testing.assert_array_equal(
+                spool.records(0, 400), offline.records
+            )
+
+
+# ----------------------------------------------------------------------
+# sequential stream (the determinism primitive)
+# ----------------------------------------------------------------------
+
+
+class TestSequentialStream:
+    def test_any_partition_is_bit_identical(self, schema, data):
+        engine = from_spec(MechanismSpec("det-gd", {"gamma": GAMMA}), schema)
+        offline = engine.perturb(data, seed=99).records
+        for edges in ([0, 400], [0, 1, 400], [0, 123, 124, 300, 400]):
+            stream = SequentialPerturbStream(engine, seed=99)
+            parts = [
+                stream.perturb_batch(data.records[lo:hi])
+                for lo, hi in zip(edges, edges[1:])
+            ]
+            np.testing.assert_array_equal(
+                np.concatenate(parts, axis=0), offline
+            )
+
+    def test_skip_records_fast_forwards_exactly(self, schema, data):
+        engine = from_spec(MechanismSpec("det-gd", {"gamma": GAMMA}), schema)
+        offline = engine.perturb(data, seed=99).records
+        stream = SequentialPerturbStream(engine, seed=99)
+        stream.skip_records(250)
+        tail = stream.perturb_batch(data.records[250:])
+        np.testing.assert_array_equal(tail, offline[250:])

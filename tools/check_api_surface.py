@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Public-API surface gate for ``repro`` and ``repro.api``.
+
+The facade contract (``src/repro/api.py``) is only stable if its
+surface cannot drift silently.  This tool collects every public name
+exported by ``repro`` (its ``__all__``) and ``repro.api``, compares
+the sorted list against the committed ``api_surface.txt``, and fails
+when they differ -- so adding, renaming or removing a public name
+requires touching the surface file in the same commit, where reviewers
+see it.
+
+Usage::
+
+    python tools/check_api_surface.py             # gate against api_surface.txt
+    python tools/check_api_surface.py --update    # rewrite the surface file
+
+CI runs the gate in the lint job; ``--update`` is for intentional
+surface changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SURFACE_FILE = REPO_ROOT / "api_surface.txt"
+
+#: The modules whose exported names form the pinned surface.
+SURFACE_MODULES = ("repro", "repro.api", "repro.service")
+
+
+def collect_surface() -> list[str]:
+    """Sorted ``module.name`` entries for every pinned public export."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        import importlib
+
+        names = []
+        for module_name in SURFACE_MODULES:
+            module = importlib.import_module(module_name)
+            exported = getattr(module, "__all__", None)
+            if exported is None:
+                raise SystemExit(
+                    f"check_api_surface: {module_name} has no __all__"
+                )
+            names.extend(f"{module_name}.{name}" for name in exported)
+        return sorted(names)
+    finally:
+        sys.path.pop(0)
+
+
+def main(argv=None) -> int:
+    """Gate (or ``--update``) the committed API surface file."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite api_surface.txt from the current exports",
+    )
+    args = parser.parse_args(argv)
+    current = collect_surface()
+    rendered = "\n".join(current) + "\n"
+    if args.update:
+        SURFACE_FILE.write_text(rendered)
+        print(f"check_api_surface: wrote {len(current)} names to {SURFACE_FILE}")
+        return 0
+    try:
+        committed = SURFACE_FILE.read_text().split()
+    except FileNotFoundError:
+        print(
+            f"check_api_surface: {SURFACE_FILE} is missing; run with --update",
+            file=sys.stderr,
+        )
+        return 1
+    added = sorted(set(current) - set(committed))
+    removed = sorted(set(committed) - set(current))
+    if not added and not removed:
+        print(f"check_api_surface: OK ({len(current)} public names)")
+        return 0
+    for name in added:
+        print(f"check_api_surface: NEW public name not in surface file: {name}")
+    for name in removed:
+        print(f"check_api_surface: public name disappeared: {name}")
+    print(
+        "check_api_surface: the public surface changed; if intentional, run "
+        "`python tools/check_api_surface.py --update` and commit "
+        "api_surface.txt",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
