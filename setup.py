@@ -23,6 +23,7 @@ setup(
     install_requires=["numpy"],
     extras_require={
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "cov": ["pytest-cov"],
         "docs": ["pdoc"],
     },
     entry_points={

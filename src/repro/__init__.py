@@ -65,7 +65,13 @@ from repro.pipeline import (
     stream_perturbed_bitmaps,
     stream_perturbed_counts,
 )
-from repro.store import ResultStore, cache_key, code_fingerprint
+from repro.solvers import (
+    PortfolioStats,
+    SolverDivergedError,
+    SolverError,
+    SolverPortfolio,
+)
+from repro.store import ClaimBoard, ResultStore, cache_key, code_fingerprint
 from repro.mechanisms import (
     CompositeMechanism,
     Mechanism,
@@ -103,6 +109,7 @@ __all__ = [
     "BitmapStreamSupportEstimator",
     "BitmapSupportCounter",
     "CategoricalDataset",
+    "ClaimBoard",
     "CompositeMechanism",
     "CutAndPasteMiner",
     "CutAndPastePerturbation",
@@ -119,6 +126,7 @@ __all__ = [
     "MechanismSpec",
     "NaiveBayesClassifier",
     "PerturbationPipeline",
+    "PortfolioStats",
     "PrivacyAccountant",
     "PrivacyRequirement",
     "PrivacyStatement",
@@ -128,6 +136,9 @@ __all__ = [
     "ResultStore",
     "Schema",
     "Session",
+    "SolverDivergedError",
+    "SolverError",
+    "SolverPortfolio",
     "TransactionBitmaps",
     "WarnerRandomizedResponse",
     "__version__",

@@ -43,6 +43,7 @@ from repro.data.backing import column_dtypes, record_dtype, validate_in_domain
 from repro.data.dataset import CategoricalDataset
 from repro.data.schema import Attribute, Schema, as_integer_array
 from repro.exceptions import DataError
+from repro.faultpoints import reach
 
 #: FRD magic bytes (8-byte aligned prefix, version in the name).
 FRD_MAGIC = b"FRDv1\x00\x00\x00"
@@ -412,6 +413,11 @@ class FrdSpool:
                 )
             validate_in_domain(self.schema, records)
         for j, (handle, dtype) in enumerate(zip(self._handles, self._dtypes)):
+            if j == 1:
+                # Crash-recovery test hook: a process killed here has
+                # written column 0 but not the rest, the exact torn
+                # state _recover's minimum-prefix rule must drop.
+                reach("spool:mid-append")
             handle.write(np.ascontiguousarray(records[:, j], dtype=dtype).tobytes())
             if fsync:
                 handle.flush()

@@ -63,7 +63,8 @@ from repro.experiments.tables import (
     table3,
     table3_cells,
 )
-from repro.store import ResultStore, code_fingerprint, default_store_root
+from repro.solvers import GLOBAL_STATS
+from repro.store import ClaimBoard, ResultStore, code_fingerprint, default_store_root
 
 _EXPERIMENTS = (
     "table1",
@@ -99,6 +100,7 @@ def _config_from_args(args) -> ExperimentConfig:
         count_backend=args.count_backend,
         backend=args.backend,
         dispatch=args.dispatch,
+        solver=args.solver,
     )
 
 
@@ -114,7 +116,19 @@ def _store_from_args(args) -> ResultStore | None:
 
 
 def _orchestrator_from_args(args) -> Orchestrator:
-    return Orchestrator(store=_store_from_args(args), jobs=args.jobs, force=args.force)
+    store = _store_from_args(args)
+    claims = None
+    if args.claim_dir:
+        if store is None:
+            # Covers both --no-cache and an unopenable store directory:
+            # peers hand each other results through store commits, so
+            # claims without a store would deadlock the grid.
+            raise SystemExit(
+                "frapp: --claim-dir needs the result store "
+                "(drop --no-cache; peers share results through store commits)"
+            )
+        claims = ClaimBoard(args.claim_dir, lease=args.lease)
+    return Orchestrator(store=store, jobs=args.jobs, force=args.force, claims=claims)
 
 
 def _run_table1() -> str:
@@ -557,6 +571,11 @@ def main(argv=None) -> int:
     if stats.hits or stats.misses:
         where = "disabled" if orchestrator.store is None else orchestrator.store.root
         print(f"frapp: {stats.summary()} [store: {where}]", file=sys.stderr)
+    # Inline-computed cells (jobs=1) feed the process-global portfolio
+    # counters; like the cache accounting this goes to stderr so stdout
+    # stays byte-comparable across solver modes.
+    if GLOBAL_STATS.cells:
+        print(f"frapp: {GLOBAL_STATS.summary()}", file=sys.stderr)
     return 0
 
 

@@ -25,6 +25,8 @@ import warnings
 from repro.data.backing import DATASET_BACKENDS
 from repro.mining.kernels import COUNT_BACKENDS
 from repro.pipeline.executor import DISPATCH_MODES
+from repro.solvers import SOLVER_MODES
+from repro.store.claims import DEFAULT_CLAIM_LEASE
 
 
 class DeprecatedAlias(argparse.Action):
@@ -121,11 +123,33 @@ def execution_options() -> argparse.ArgumentParser:
         preferred="--dispatch",
     )
     group.add_argument(
+        "--solver",
+        choices=list(SOLVER_MODES),
+        default="closed",
+        help="reconstruction solver: direct closed-form solve (default) or "
+        "a raced closed/lstsq/EM portfolio under a residual check "
+        "(identical results on the paper grid)",
+    )
+    group.add_argument(
         "--jobs",
         type=int,
         default=1,
         help="worker processes for independent experiment cells "
         "(frapp all --jobs 4 runs the whole grid concurrently)",
+    )
+    group.add_argument(
+        "--claim-dir",
+        default=None,
+        help="shared claim directory for multi-host runs: N frapp processes "
+        "pointed at one store and one claim dir split the cell grid via "
+        "lease-expiring claims (results identical to a single host)",
+    )
+    group.add_argument(
+        "--lease",
+        type=float,
+        default=DEFAULT_CLAIM_LEASE,
+        help="seconds before a dead peer's claims are stolen "
+        "(default %(default)s; needs --claim-dir)",
     )
     group.add_argument(
         "--n-jobs",

@@ -45,6 +45,7 @@ True
 from __future__ import annotations
 
 import hashlib
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
@@ -54,6 +55,7 @@ from repro.data.census import CENSUS_N_RECORDS, census_schema, generate_census
 from repro.data.health import HEALTH_N_RECORDS, generate_health, health_schema
 from repro.exceptions import ExperimentError
 from repro.experiments.config import PAPER_GAMMA, ExperimentConfig, dataset_scale
+from repro.faultpoints import reach
 from repro.mechanisms import MechanismSpec
 from repro.mechanisms import registry as mechanism_registry
 from repro.mining.apriori import AprioriResult
@@ -295,6 +297,7 @@ def _compute_mechanism(params, deps, env):
         count_backend=env.get("count_backend", "bitmap"),
         backend=env.get("backend", "compact"),
         dispatch=env.get("dispatch", "pickle"),
+        solver=env.get("solver", "closed"),
     )
     run = run_mechanism(
         dataset,
@@ -374,6 +377,7 @@ _CELL_FUNCS = {
 def _execute_cell(task):
     """Worker-side entry point: compute one cell from its task tuple."""
     func, params, deps, env = task
+    reach(f"cell:{func}")
     compute, _ = _CELL_FUNCS[func]
     return compute(params, deps, env)
 
@@ -418,9 +422,10 @@ def config_env(config: ExperimentConfig) -> dict:
 
     Everything here is guaranteed (and tested) not to move any cell's
     numbers: the support-counting kernel, the worker layout, the
-    dataset storage backend and the chunk-dispatch mode all produce
-    bit-identical results.  Keeping them out of the cache key means a
-    warm cache survives switching any of them.
+    dataset storage backend, the chunk-dispatch mode and the
+    reconstruction solver mode all produce bit-identical results.
+    Keeping them out of the cache key means a warm cache survives
+    switching any of them.
     """
     return {
         "count_backend": config.count_backend,
@@ -428,6 +433,7 @@ def config_env(config: ExperimentConfig) -> dict:
         "chunk_size": config.chunk_size,
         "backend": config.backend,
         "dispatch": config.dispatch,
+        "solver": config.solver,
     }
 
 
@@ -565,6 +571,7 @@ class CacheStats:
     def __init__(self):
         self.hits = 0
         self.misses = 0
+        self.remote = 0
         self.computed: dict[str, int] = {}
 
     @property
@@ -579,12 +586,25 @@ class CacheStats:
         self.misses += 1
         self.computed[func] = self.computed.get(func, 0) + 1
 
+    def record_remote(self) -> None:
+        """Count one cell adopted from a peer host's store commit.
+
+        Remote adoptions are hits (the cell was served, not computed),
+        tallied separately so multi-host runs can report how much work
+        the claim board actually shed.
+        """
+        self.hits += 1
+        self.remote += 1
+
     def summary(self) -> str:
         """One-line report for the CLI's stderr."""
-        return (
+        line = (
             f"cache: {self.hits} hit(s), {self.misses} computed "
             f"({self.mechanism_runs} mechanism run(s))"
         )
+        if self.remote:
+            line += f", {self.remote} adopted from peer(s)"
+        return line
 
 
 class Orchestrator:
@@ -602,6 +622,18 @@ class Orchestrator:
     fingerprint:
         Code fingerprint override (tests); defaults to
         :func:`~repro.store.code_fingerprint` of the live source.
+    claims:
+        A :class:`~repro.store.ClaimBoard` over a directory shared with
+        peer orchestrator processes (``--claim-dir``).  Ready cells are
+        claimed before they run; cells claimed by a live peer are
+        polled until the peer's commit lands in the shared store (then
+        adopted, see :meth:`CacheStats.record_remote`) or the peer's
+        lease expires (then stolen and computed here).  Requires a
+        store -- without one there is no channel for peers to share
+        results through.
+    poll_interval:
+        Seconds between store/claim re-checks while every ready cell
+        is claimed by a peer.
     """
 
     def __init__(
@@ -610,13 +642,26 @@ class Orchestrator:
         jobs: int = 1,
         force: bool = False,
         fingerprint: str | None = None,
+        claims=None,
+        poll_interval: float = 0.05,
     ):
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if claims is not None and store is None:
+            raise ExperimentError(
+                "cell claims need a shared store: peers hand results to "
+                "each other through store commits"
+            )
+        if poll_interval <= 0.0:
+            raise ExperimentError(
+                f"poll_interval must be positive, got {poll_interval}"
+            )
         self.store = store
         self.jobs = int(jobs)
         self.force = bool(force)
         self.fingerprint = fingerprint or code_fingerprint()
+        self.claims = claims
+        self.poll_interval = float(poll_interval)
         self.stats = CacheStats()
         self._memo: dict[str, object] = {}
 
@@ -728,7 +773,89 @@ class Orchestrator:
             if all(dep in self._memo for dep in cell.deps)
         ]
 
+    def _adopt(self, cell: Cell, key: str) -> bool:
+        """Serve a ready cell from a peer's store commit, if one landed."""
+        if self.force or self.store is None:
+            return False
+        cached = self.store.get(key)
+        if cached is None:
+            return False
+        payload, arrays = cached
+        self._memo[cell.name] = self._decode(cell, payload, arrays)
+        self.stats.record_remote()
+        return True
+
+    def _run_claimed(self, pending: dict[str, Cell]) -> None:
+        """Claim-coordinated scheduling (the multi-host ``frapp all``).
+
+        Each ready cell goes through adopt -> claim -> compute:
+        a peer's committed result is adopted outright; otherwise the
+        cell is claimed (stealing expired/poisoned claims) and computed
+        here -- inline for ``jobs == 1``, on the pool otherwise --
+        with the store commit strictly *before* the claim release, so
+        a released claim always implies an adoptable result.  Claims
+        still held on exit (success or error) are released so a failing
+        host never blocks its peers for a full lease.
+        """
+        pool = ProcessPoolExecutor(self.jobs) if self.jobs > 1 else None
+        in_flight: dict[object, str] = {}
+        try:
+            while pending or in_flight:
+                progressed = False
+                submitted = set(in_flight.values())
+                ready = self._ready(pending)
+                if not ready and not in_flight:
+                    # Claimed-elsewhere cells still count as ready, so
+                    # an empty ready set truly is a dependency cycle.
+                    raise ExperimentError(
+                        f"dependency cycle among cells {sorted(pending)}"
+                    )
+                for cell in ready:
+                    if cell.name in submitted:
+                        continue
+                    key = self.key_for(cell)
+                    if self._adopt(cell, key):
+                        del pending[cell.name]
+                        progressed = True
+                        continue
+                    if not self.claims.acquire(key):
+                        continue  # live peer claim: poll again later
+                    if pool is None:
+                        try:
+                            payload, arrays = _execute_cell(self._task(cell))
+                            self._commit(cell, payload, arrays)
+                        finally:
+                            self.claims.release(key)
+                        del pending[cell.name]
+                    else:
+                        future = pool.submit(_execute_cell, self._task(cell))
+                        in_flight[future] = cell.name
+                    progressed = True
+                if in_flight:
+                    done, _ = wait(
+                        in_flight,
+                        timeout=self.poll_interval,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        cell = pending.pop(in_flight.pop(future))
+                        try:
+                            payload, arrays = future.result()
+                            self._commit(cell, payload, arrays)
+                        finally:
+                            self.claims.release(self.key_for(cell))
+                    continue
+                if not progressed:
+                    time.sleep(self.poll_interval)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+            self.claims.release_all()
+
     def _run_pending(self, pending: dict[str, Cell]) -> None:
+        if self.claims is not None:
+            self._run_claimed(pending)
+            return
         if self.jobs == 1:
             while pending:
                 ready = self._ready(pending)

@@ -158,3 +158,30 @@ def render_privacy_table(statements, requirement=None) -> str:
         if i == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)
+
+
+def render_solver_table(stats) -> str:
+    """Render a :class:`~repro.solvers.PortfolioStats` as a lane table.
+
+    One row per solver lane that did anything, in priority order, with
+    the win / residual-rejection / error tallies and a header line
+    carrying the cell and cancellation totals.  Lanes that never ran
+    (e.g. ``em`` on a grid the closed form always wins) are omitted.
+    """
+    lines = [
+        f"solver portfolio: {stats.cells} cell(s), {stats.raced} raced, "
+        f"{stats.cancelled} lane(s) cancelled"
+    ]
+    rows = [["lane", "wins", "rejected", "errors"]]
+    for lane, wins, rejected, errors in stats.as_rows():
+        rows.append([lane, str(wins), str(rejected), str(errors)])
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    for i, row in enumerate(rows):
+        cells = [
+            cell.ljust(w) if j == 0 else cell.rjust(w)
+            for j, (cell, w) in enumerate(zip(row, widths))
+        ]
+        lines.append("  ".join(cells).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -226,6 +226,7 @@ class Mechanism(abc.ABC):
         workers: int = 1,
         chunk_size=None,
         dispatch: str = "pickle",
+        solver=None,
     ):
         """Perturb ``dataset`` and wrap it in this mechanism's estimator.
 
@@ -235,6 +236,13 @@ class Mechanism(abc.ABC):
         ``chunk_size`` / ``dispatch`` through
         :class:`repro.pipeline.PerturbationPipeline`; others raise
         :class:`~repro.exceptions.ExperimentError` for them.
+        ``solver`` is an optional
+        :class:`~repro.solvers.SolverPortfolio` for estimators that
+        solve per-cell linear systems (the marginal-inversion path);
+        mechanisms whose estimators have closed forms with no system to
+        race (Eq.-28 gamma-diagonal, MASK tensor powers, C&P partial
+        supports) accept and ignore it -- the portfolio's ``closed``
+        lane would reproduce their answer bit-for-bit anyway.
         """
 
     # ------------------------------------------------------------------
@@ -367,6 +375,7 @@ class ColumnarMechanism(Mechanism):
         workers: int = 1,
         chunk_size=None,
         dispatch: str = "pickle",
+        solver=None,
     ):
         """Generic estimator: invert the induced marginal per itemset.
 
@@ -385,7 +394,7 @@ class ColumnarMechanism(Mechanism):
         if workers == 1 and chunk_size is None:
             perturbed = self.perturb(dataset, seed=seed)
             return MarginalInversionEstimator(
-                self, perturbed.subset_counts, perturbed.n_records
+                self, perturbed.subset_counts, perturbed.n_records, solver=solver
             )
         from repro.pipeline import DEFAULT_CHUNK_SIZE, PerturbationPipeline
 
@@ -398,11 +407,14 @@ class ColumnarMechanism(Mechanism):
         if self.schema.joint_size > MAX_JOINT_ACCUMULATION:
             accumulator = pipeline.accumulate_bitmaps(dataset, seed=seed)
             return MarginalInversionEstimator(
-                self, accumulator.bitmaps.subset_counts, accumulator.n_records
+                self,
+                accumulator.bitmaps.subset_counts,
+                accumulator.n_records,
+                solver=solver,
             )
         accumulator = pipeline.accumulate(dataset, seed=seed)
         return MarginalInversionEstimator(
-            self, accumulator.subset_counts, accumulator.n_records
+            self, accumulator.subset_counts, accumulator.n_records, solver=solver
         )
 
 
@@ -430,13 +442,27 @@ class MarginalInversionEstimator:
         :class:`repro.pipeline.JointCountAccumulator`'s.
     n_records:
         Total perturbed record count.
+    solver:
+        Optional :class:`~repro.solvers.SolverPortfolio` solving the
+        per-subset systems.  ``None`` (default) is the direct closed
+        solve; a portfolio returns bit-identical estimates whenever its
+        ``closed`` lane passes the residual check (always, on the paper
+        grid) and rescues singular/ill-conditioned marginals through
+        its lstsq/EM lanes.
     """
 
-    def __init__(self, mechanism: ColumnarMechanism, subset_counts, n_records: int):
+    def __init__(
+        self,
+        mechanism: ColumnarMechanism,
+        subset_counts,
+        n_records: int,
+        solver=None,
+    ):
         self.mechanism = mechanism
         self.schema = mechanism.schema
         self._subset_counts = subset_counts
         self.n_records = int(n_records)
+        self.solver = solver
         self._solved: dict[tuple[int, ...], np.ndarray] = {}
 
     def supports(self, itemsets) -> np.ndarray:
@@ -454,7 +480,9 @@ class MarginalInversionEstimator:
             if solved is None:
                 observed = np.asarray(self._subset_counts(attrs), dtype=float)
                 matrix = self.mechanism.marginal_operator(attrs)
-                if isinstance(matrix, np.ndarray):
+                if self.solver is not None:
+                    solved = self.solver.solve(matrix, observed)
+                elif isinstance(matrix, np.ndarray):
                     solved = np.linalg.solve(matrix, observed)
                 else:
                     solved = matrix.solve(observed)

@@ -134,6 +134,7 @@ class GammaDiagonalMechanism(ColumnarMechanism):
         workers: int = 1,
         chunk_size=None,
         dispatch: str = "pickle",
+        solver=None,
     ):
         """Perturb and wrap in the Eq.-28 support estimator.
 
@@ -310,6 +311,7 @@ class MaskMechanism(Mechanism):
         workers: int = 1,
         chunk_size=None,
         dispatch: str = "pickle",
+        solver=None,
     ):
         """Perturb and wrap in the tensor-power estimator."""
         from repro.mining.counting import MaskSupportEstimator
@@ -370,6 +372,7 @@ class CutAndPasteMechanism(Mechanism):
         workers: int = 1,
         chunk_size=None,
         dispatch: str = "pickle",
+        solver=None,
     ):
         """Perturb and wrap in the partial-support estimator."""
         from repro.mining.counting import CutAndPasteSupportEstimator

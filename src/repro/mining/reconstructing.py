@@ -146,6 +146,7 @@ class MechanismMiner:
         workers: int = 1,
         chunk_size=None,
         dispatch: str = "pickle",
+        solver=None,
     ):
         """Perturb and wrap in the mechanism's support estimator.
 
@@ -154,6 +155,9 @@ class MechanismMiner:
         set; the direct path requires a materialised dataset.
         ``dispatch="shm"`` routes multi-worker runs through zero-copy
         shared-memory block dispatch (bit-identical outputs).
+        ``solver`` is an optional :class:`~repro.solvers.SolverPortfolio`
+        for the marginal-inversion estimators (result-invariant; see
+        :mod:`repro.solvers`).
         """
         return self.mechanism.build_estimator(
             dataset,
@@ -161,6 +165,7 @@ class MechanismMiner:
             workers=workers,
             chunk_size=chunk_size,
             dispatch=dispatch,
+            solver=solver,
         )
 
     def mine(
@@ -172,6 +177,7 @@ class MechanismMiner:
         workers: int = 1,
         chunk_size=None,
         dispatch: str = "pickle",
+        solver=None,
     ) -> AprioriResult:
         """Perturb, then Apriori-mine over reconstructed supports."""
         estimator = self.build_estimator(
@@ -180,6 +186,7 @@ class MechanismMiner:
             workers=workers,
             chunk_size=chunk_size,
             dispatch=dispatch,
+            solver=solver,
         )
         return apriori(estimator, self.schema, min_support, max_length)
 
@@ -192,6 +199,7 @@ class MechanismMiner:
         workers: int = 1,
         chunk_size=None,
         dispatch: str = "pickle",
+        solver=None,
     ) -> AprioriResult:
         """Per-level evaluation protocol (see :func:`mine_per_level`)."""
         estimator = self.build_estimator(
@@ -200,6 +208,7 @@ class MechanismMiner:
             workers=workers,
             chunk_size=chunk_size,
             dispatch=dispatch,
+            solver=solver,
         )
         return mine_per_level(estimator, self.schema, min_support, true_result)
 

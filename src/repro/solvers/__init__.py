@@ -1,0 +1,35 @@
+"""Solver portfolio racing for reconstruction cells.
+
+See :mod:`repro.solvers.portfolio` for the design (deterministic
+priority acceptance, cancellable raced lanes, residual checks) and
+DESIGN.md ("The solver portfolio") for the architecture discussion.
+"""
+
+from repro.exceptions import SolverDivergedError, SolverError
+from repro.solvers.portfolio import (
+    DEFAULT_RACE_THRESHOLD,
+    DEFAULT_RESIDUAL_RTOL,
+    DELAY_ENV,
+    GLOBAL_STATS,
+    SOLVER_MODES,
+    SOLVER_NAMES,
+    PortfolioStats,
+    SolverPortfolio,
+    portfolio_for,
+    solver_delays,
+)
+
+__all__ = [
+    "DEFAULT_RACE_THRESHOLD",
+    "DEFAULT_RESIDUAL_RTOL",
+    "DELAY_ENV",
+    "GLOBAL_STATS",
+    "SOLVER_MODES",
+    "SOLVER_NAMES",
+    "PortfolioStats",
+    "SolverDivergedError",
+    "SolverError",
+    "SolverPortfolio",
+    "portfolio_for",
+    "solver_delays",
+]

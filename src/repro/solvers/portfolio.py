@@ -1,0 +1,465 @@
+"""The reconstruction solver portfolio (raced, residual-checked).
+
+FRAPP's reconstruction step solves ``A x = y`` per *cell* (one induced
+marginal system per itemset attribute-set, or one joint-domain system
+per stream).  Three solver lanes exist -- the O(n) closed form of the
+``a*I + b*J`` family / factor-wise Kronecker solve (``"closed"``),
+dense least squares (``"lstsq"``), and the non-negative EM ablation
+(``"em"``) -- with wildly different cost and robustness profiles: the
+closed form is exact and instant but rejects singular systems, lstsq
+handles rank deficiency, and EM survives inconsistent observations at
+a long-tail iteration cost.  :class:`SolverPortfolio` runs them as a
+portfolio, the way SMPT-style model checkers race k-induction / IC3 /
+random-walk engines and take the first answer.
+
+Determinism contract
+--------------------
+Temporal first-to-finish acceptance would make results depend on
+scheduling.  Instead the portfolio uses **deterministic-priority
+racing**: the accepted estimate is from the *first solver in the fixed
+priority order* (``solvers`` tuple order, default closed -> lstsq ->
+em) that completes without error and passes the residual check
+``||A x - y|| / ||y|| <= residual_rtol``.  In race mode all lanes
+launch concurrently in cancellable worker processes and every lane at
+lower priority than the winner is terminated the moment the winner is
+accepted -- racing changes *when* the answer arrives, never *what* it
+is, so race mode is bit-identical to inline mode and delays injected
+into any lane (``$REPRO_SOLVER_DELAY``) cannot move a single float.
+The fault-injection suite (``tests/test_solvers.py``) pins exactly
+this property with Hypothesis.
+
+Because the ``"closed"`` lane reproduces the historical direct solve
+bit-for-bit (``matrix.solve`` for operators, ``numpy.linalg.solve``
+for dense arrays), a portfolio run is byte-identical to a
+non-portfolio run whenever the closed form succeeds -- which is every
+cell of the paper grid.  The portfolio's value is the tail: cancelled
+EM lanes on well-conditioned cells, rescued singular/ill-conditioned
+cells the closed form rejects.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+
+import numpy as np
+
+from repro.exceptions import ExperimentError, FrappError, SolverError
+from repro.stats.linalg import residual_norm
+
+#: Canonical solver priority order (and the set of valid lane names).
+SOLVER_NAMES = ("closed", "lstsq", "em")
+
+#: Config/CLI-visible solver modes (``--solver``): the plain direct
+#: solve or the full portfolio.  Both are result-invariant, which is
+#: why the knob lives in cell ``env`` rather than in cache keys.
+SOLVER_MODES = ("closed", "portfolio")
+
+#: Default relative-residual acceptance threshold.
+DEFAULT_RESIDUAL_RTOL = 1e-6
+
+#: Dense systems below this dimension always solve inline in ``auto``
+#: mode -- process start-up dwarfs the solve itself.
+DEFAULT_RACE_THRESHOLD = 4096
+
+#: Environment variable injecting per-lane delays (``"em=0.2,lstsq=0.05"``,
+#: seconds); a fault-injection hook proving timing cannot move results.
+DELAY_ENV = "REPRO_SOLVER_DELAY"
+
+#: Seconds between result-queue polls while awaiting a raced lane.
+_POLL_TIMEOUT = 0.05
+
+
+def solver_delays(raw: str | None = None) -> dict[str, float]:
+    """Parse a ``"name=seconds,..."`` delay spec (default: the env var).
+
+    Unknown lane names raise so a typoed injection cannot silently
+    test nothing.
+    """
+    if raw is None:
+        raw = os.environ.get(DELAY_ENV, "")
+    delays: dict[str, float] = {}
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, value = part.partition("=")
+        name = name.strip()
+        if name not in SOLVER_NAMES:
+            raise ExperimentError(
+                f"unknown solver lane {name!r} in delay spec (use {SOLVER_NAMES})"
+            )
+        try:
+            delays[name] = float(value)
+        except ValueError:
+            raise ExperimentError(
+                f"bad delay for solver lane {name!r}: {value!r}"
+            ) from None
+    return delays
+
+
+def _as_dense(matrix) -> np.ndarray:
+    if isinstance(matrix, np.ndarray):
+        return matrix
+    if hasattr(matrix, "to_dense"):
+        return matrix.to_dense()
+    raise SolverError(f"cannot densify {type(matrix).__name__} for this solver lane")
+
+
+def _run_solver(name: str, matrix, observed, residual_rtol: float) -> np.ndarray:
+    """Execute one solver lane; raises on lane failure."""
+    if name == "closed":
+        if isinstance(matrix, np.ndarray):
+            try:
+                return np.linalg.solve(matrix, observed)
+            except np.linalg.LinAlgError as exc:
+                raise SolverError(f"singular system: {exc}") from exc
+        # Operators (a*I + b*J marginals, Kronecker products) carry
+        # their own closed-form solve -- the historical direct path.
+        return matrix.solve(observed)
+    if name == "lstsq":
+        solution, *_ = np.linalg.lstsq(_as_dense(matrix), observed, rcond=None)
+        return solution
+    if name == "em":
+        from repro.core.reconstruction import em_reconstruct
+
+        return em_reconstruct(
+            _as_dense(matrix), observed, target_residual=residual_rtol
+        )
+    raise SolverError(f"unknown solver lane {name!r}")
+
+
+def _race_worker(name, matrix, observed, residual_rtol, delay, results) -> None:
+    """Process entry point of one raced lane.
+
+    Reports ``(name, "ok", estimate)`` or ``(name, "error", reason)``
+    on the shared queue; the injected ``delay`` models a slow lane and
+    is the lever the fault-injection tests use to force every possible
+    finishing order.
+    """
+    if delay > 0.0:
+        time.sleep(delay)
+    try:
+        estimate = _run_solver(name, matrix, observed, residual_rtol)
+    except (FrappError, np.linalg.LinAlgError) as error:
+        results.put((name, "error", f"{type(error).__name__}: {error}"))
+    else:
+        results.put((name, "ok", np.asarray(estimate, dtype=float)))
+
+
+class PortfolioStats:
+    """``CacheStats``-style per-lane counters for one portfolio lifetime.
+
+    Tracks, per solver lane, how often it won (produced the accepted
+    estimate), was rejected (completed but failed the residual check),
+    or errored (raised / diverged / died), plus how many running lanes
+    were cancelled after a higher-priority win and how many cells were
+    raced versus solved inline.
+    """
+
+    def __init__(self):
+        self.cells = 0
+        self.raced = 0
+        self.cancelled = 0
+        self.wins: dict[str, int] = {}
+        self.rejected: dict[str, int] = {}
+        self.errors: dict[str, int] = {}
+
+    def _bump(self, counter: dict[str, int], name: str) -> None:
+        counter[name] = counter.get(name, 0) + 1
+
+    def record_cell(self, raced: bool) -> None:
+        """Count one solved cell (``raced`` = used worker processes)."""
+        self.cells += 1
+        if raced:
+            self.raced += 1
+
+    def record_win(self, name: str) -> None:
+        """Count an accepted estimate for lane ``name``."""
+        self._bump(self.wins, name)
+
+    def record_rejected(self, name: str) -> None:
+        """Count a completed-but-residual-rejected estimate."""
+        self._bump(self.rejected, name)
+
+    def record_error(self, name: str) -> None:
+        """Count a lane failure (exception, divergence, process death)."""
+        self._bump(self.errors, name)
+
+    def record_cancelled(self, count: int) -> None:
+        """Count ``count`` lanes terminated after a higher-priority win."""
+        self.cancelled += int(count)
+
+    def merge(self, other: "PortfolioStats") -> None:
+        """Fold another stats object into this one (cross-process rollup)."""
+        self.cells += other.cells
+        self.raced += other.raced
+        self.cancelled += other.cancelled
+        for mine, theirs in (
+            (self.wins, other.wins),
+            (self.rejected, other.rejected),
+            (self.errors, other.errors),
+        ):
+            for name, count in theirs.items():
+                mine[name] = mine.get(name, 0) + count
+
+    def reset(self) -> None:
+        """Zero every counter (used between CLI runs and tests)."""
+        self.__init__()
+
+    def as_rows(self) -> list[tuple[str, int, int, int]]:
+        """``(lane, wins, rejected, errors)`` rows in priority order."""
+        names = [name for name in SOLVER_NAMES]
+        for counter in (self.wins, self.rejected, self.errors):
+            names.extend(name for name in counter if name not in names)
+        return [
+            (
+                name,
+                self.wins.get(name, 0),
+                self.rejected.get(name, 0),
+                self.errors.get(name, 0),
+            )
+            for name in names
+            if self.wins.get(name) or self.rejected.get(name) or self.errors.get(name)
+        ]
+
+    def summary(self) -> str:
+        """One-line report for the CLI's stderr."""
+        wins = ", ".join(f"{name} won {count}" for name, count, _, _ in self.as_rows())
+        return (
+            f"solvers: {self.cells} cell(s) ({self.raced} raced, "
+            f"{self.cancelled} lane(s) cancelled){': ' + wins if wins else ''}"
+        )
+
+
+#: Process-wide stats the CLI reports; portfolios record here unless
+#: constructed with an explicit ``stats`` object.
+GLOBAL_STATS = PortfolioStats()
+
+
+class SolverPortfolio:
+    """Race closed-form / lstsq / EM lanes under a residual check.
+
+    Parameters
+    ----------
+    solvers:
+        Lane names in **priority order** (subset of
+        :data:`SOLVER_NAMES`).  The accepted estimate is always from
+        the first listed lane that completes and passes the residual
+        check, independent of finishing order.
+    residual_rtol:
+        Acceptance threshold on the relative residual
+        ``||A x - y|| / ||y||``.
+    mode:
+        ``"inline"`` chains lanes sequentially with early accept;
+        ``"race"`` launches all lanes in cancellable worker processes;
+        ``"auto"`` (default) races only dense systems of dimension >=
+        ``race_threshold`` (closed-form operators always solve inline
+        -- there is nothing to win against an O(n) exact solve).
+        All three modes return bit-identical estimates.
+    race_threshold:
+        Minimum dense dimension for ``"auto"`` to race.
+    delays:
+        Per-lane artificial delays in seconds (fault injection;
+        merged with -- and overridden by -- ``$REPRO_SOLVER_DELAY``).
+    stats:
+        A :class:`PortfolioStats` to record into (default: the
+        process-wide :data:`GLOBAL_STATS`).
+    """
+
+    def __init__(
+        self,
+        solvers=SOLVER_NAMES,
+        residual_rtol: float = DEFAULT_RESIDUAL_RTOL,
+        mode: str = "auto",
+        race_threshold: int = DEFAULT_RACE_THRESHOLD,
+        delays: dict[str, float] | None = None,
+        stats: PortfolioStats | None = None,
+    ):
+        self.solvers = tuple(solvers)
+        if not self.solvers:
+            raise ExperimentError("a solver portfolio needs at least one lane")
+        for name in self.solvers:
+            if name not in SOLVER_NAMES:
+                raise ExperimentError(
+                    f"unknown solver lane {name!r} (use {SOLVER_NAMES})"
+                )
+        if len(set(self.solvers)) != len(self.solvers):
+            raise ExperimentError(f"duplicate solver lanes in {self.solvers}")
+        if mode not in ("auto", "inline", "race"):
+            raise ExperimentError(
+                f"mode must be 'auto', 'inline' or 'race', got {mode!r}"
+            )
+        if residual_rtol <= 0.0:
+            raise ExperimentError(
+                f"residual_rtol must be positive, got {residual_rtol}"
+            )
+        self.residual_rtol = float(residual_rtol)
+        self.mode = mode
+        self.race_threshold = int(race_threshold)
+        self.delays = dict(delays or {})
+        self.stats = GLOBAL_STATS if stats is None else stats
+
+    # ------------------------------------------------------------------
+    def _effective_delays(self) -> dict[str, float]:
+        merged = dict(self.delays)
+        merged.update(solver_delays())
+        return merged
+
+    def _should_race(self, matrix) -> bool:
+        if len(self.solvers) == 1:
+            return False
+        if self.mode == "inline":
+            return False
+        if self.mode == "race":
+            return True
+        return isinstance(matrix, np.ndarray) and matrix.shape[0] >= self.race_threshold
+
+    def solve(self, matrix, observed) -> np.ndarray:
+        """The accepted estimate for ``A x = y`` (see class docstring).
+
+        Raises :class:`~repro.exceptions.SolverError` when every lane
+        errors out or fails the residual check.
+        """
+        observed = np.asarray(observed, dtype=float)
+        if observed.ndim != 1:
+            raise SolverError(f"observed counts must be 1-D, got {observed.shape}")
+        raced = self._should_race(matrix)
+        self.stats.record_cell(raced)
+        if raced:
+            return self._solve_race(matrix, observed)
+        return self._solve_inline(matrix, observed)
+
+    # ------------------------------------------------------------------
+    def _accept(self, name: str, matrix, estimate, observed, failures):
+        """Residual-check one completed lane; ``None`` when rejected."""
+        residual = residual_norm(matrix, estimate, observed)
+        if residual <= self.residual_rtol:
+            self.stats.record_win(name)
+            return np.asarray(estimate, dtype=float)
+        self.stats.record_rejected(name)
+        failures.append(f"{name}: residual {residual:.3e} > {self.residual_rtol:.3e}")
+        return None
+
+    def _give_up(self, failures):
+        raise SolverError(
+            "no portfolio lane produced an acceptable estimate: "
+            + "; ".join(failures)
+        )
+
+    def _solve_inline(self, matrix, observed) -> np.ndarray:
+        delays = self._effective_delays()
+        failures: list[str] = []
+        for name in self.solvers:
+            if delays.get(name, 0.0) > 0.0:
+                time.sleep(delays[name])
+            try:
+                estimate = _run_solver(name, matrix, observed, self.residual_rtol)
+            except (FrappError, np.linalg.LinAlgError) as error:
+                self.stats.record_error(name)
+                failures.append(f"{name}: {type(error).__name__}: {error}")
+                continue
+            accepted = self._accept(name, matrix, estimate, observed, failures)
+            if accepted is not None:
+                return accepted
+        self._give_up(failures)
+
+    # ------------------------------------------------------------------
+    def _solve_race(self, matrix, observed) -> np.ndarray:
+        delays = self._effective_delays()
+        # fork keeps lane start-up cheap (the system is inherited, not
+        # pickled); spawn is the portable fallback.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        results = context.Queue()
+        processes: dict[str, multiprocessing.Process] = {}
+        for name in self.solvers:
+            process = context.Process(
+                target=_race_worker,
+                args=(
+                    name,
+                    matrix,
+                    observed,
+                    self.residual_rtol,
+                    delays.get(name, 0.0),
+                    results,
+                ),
+                daemon=True,
+            )
+            process.start()
+            processes[name] = process
+        outcomes: dict[str, tuple] = {}
+        failures: list[str] = []
+        accepted = None
+        try:
+            # Walk lanes in priority order: lower-priority lanes keep
+            # computing concurrently while a higher one is awaited, and
+            # acceptance of lane k never consults anything below it --
+            # which is what makes the result timing-independent.
+            for name in self.solvers:
+                status, value = self._await_outcome(name, processes, outcomes, results)
+                if status == "ok":
+                    accepted = self._accept(name, matrix, value, observed, failures)
+                    if accepted is not None:
+                        break
+                else:
+                    self.stats.record_error(name)
+                    failures.append(f"{name}: {value}")
+        finally:
+            cancelled = 0
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
+                    cancelled += 1
+            for process in processes.values():
+                process.join(timeout=10.0)
+            results.close()
+            self.stats.record_cancelled(cancelled)
+        if accepted is None:
+            self._give_up(failures)
+        return accepted
+
+    @staticmethod
+    def _drain(results, outcomes, timeout: float) -> bool:
+        try:
+            name, status, value = results.get(timeout=timeout)
+        except queue_module.Empty:
+            return False
+        outcomes[name] = (status, value)
+        return True
+
+    def _await_outcome(self, name, processes, outcomes, results) -> tuple:
+        """Block until lane ``name`` reported (or died without a report)."""
+        while name not in outcomes:
+            if self._drain(results, outcomes, _POLL_TIMEOUT):
+                continue
+            if not processes[name].is_alive():
+                # The process exited; drain any in-flight report before
+                # declaring it dead (the queue write races the exit).
+                while self._drain(results, outcomes, _POLL_TIMEOUT):
+                    pass
+                if name not in outcomes:
+                    outcomes[name] = (
+                        "error",
+                        f"solver process died (exit code "
+                        f"{processes[name].exitcode})",
+                    )
+        return outcomes[name]
+
+
+def portfolio_for(solver: str | None, stats: PortfolioStats | None = None):
+    """Resolve a config/CLI ``--solver`` value into a portfolio (or not).
+
+    ``"closed"`` / ``None`` mean the historical direct solve (returns
+    ``None``); ``"portfolio"`` returns a default
+    :class:`SolverPortfolio`.
+    """
+    if solver is None or solver == "closed":
+        return None
+    if solver == "portfolio":
+        return SolverPortfolio(stats=stats)
+    raise ExperimentError(f"solver must be one of {SOLVER_MODES}, got {solver!r}")

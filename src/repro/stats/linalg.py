@@ -74,6 +74,32 @@ def condition_number(matrix: np.ndarray) -> float:
     return float(singular_values.max() / smallest)
 
 
+def residual_norm(matrix, estimate, observed) -> float:
+    """Relative residual ``||A @ x - y|| / ||y||`` of a candidate solve.
+
+    The acceptance metric of the solver portfolio
+    (:mod:`repro.solvers`): it works for dense arrays and for any
+    implicit operator exposing ``matvec`` (the ``a*I + b*J`` family
+    here, :class:`~repro.stats.kronecker.KroneckerOperator`), so a
+    residual check never needs to densify the system it validates.
+    For ``y = 0`` the plain (absolute) residual norm is returned.
+    """
+    estimate = np.asarray(estimate, dtype=float)
+    observed = np.asarray(observed, dtype=float)
+    if isinstance(matrix, np.ndarray):
+        predicted = matrix @ estimate
+    elif hasattr(matrix, "matvec"):
+        predicted = matrix.matvec(estimate)
+    else:
+        raise MatrixError(
+            f"cannot compute a residual against {type(matrix).__name__} "
+            "(need an ndarray or a matvec operator)"
+        )
+    residual = float(np.linalg.norm(predicted - observed))
+    scale = float(np.linalg.norm(observed))
+    return residual / scale if scale > 0.0 else residual
+
+
 @dataclass(frozen=True)
 class UniformOffDiagonalMatrix:
     """The matrix family ``M = a*I + b*J`` of size ``n x n``.

@@ -13,9 +13,13 @@ manifest.
   package source (total cache invalidation on any code change);
 * :mod:`repro.store.store` -- :class:`ResultStore`: atomic writes,
   checksum-verified reads, corruption-as-miss semantics, ``ls/rm/gc``
-  maintenance, and concurrent-writer safety.
+  maintenance, and concurrent-writer safety;
+* :mod:`repro.store.claims` -- :class:`ClaimBoard`: advisory
+  lease-expiring cell claims that let several ``frapp all`` hosts
+  split one grid over a shared store without duplicating work.
 """
 
+from repro.store.claims import DEFAULT_CLAIM_LEASE, Claim, ClaimBoard
 from repro.store.fingerprint import code_fingerprint, package_source_files
 from repro.store.keys import cache_key, canonical_json
 from repro.store.store import (
@@ -29,6 +33,9 @@ from repro.store.store import (
 
 __all__ = [
     "CacheEntry",
+    "Claim",
+    "ClaimBoard",
+    "DEFAULT_CLAIM_LEASE",
     "ResultStore",
     "STORE_VERSION",
     "atomic_write_bytes",

@@ -1,0 +1,261 @@
+"""Lock-protected, lease-expiring cell claims over a shared filesystem.
+
+The content-addressed store (:mod:`repro.store.store`) already makes
+concurrent `frapp all` hosts *safe*: commits are atomic and two hosts
+computing the same cell write equivalent entries.  What it does not
+make them is *efficient* -- without coordination every host computes
+the whole grid.  A :class:`ClaimBoard` adds that coordination: before
+computing a cell, a host claims the cell's store key; other hosts skip
+claimed cells and adopt the owner's committed result instead.
+
+Protocol
+--------
+* A claim is one JSON file ``<root>/<key>.claim`` naming the holder
+  and an expiry time (``acquired + lease``).
+* **Acquisition** is an atomic exclusive creation (``os.link`` of a
+  fully-written temp file -- never a partially-written claim).
+* **Leases, not heartbeats.**  A holder that dies mid-cell simply
+  stops refreshing nothing: its claim *expires*, and any other host
+  steals it.  Steals re-verify expiry under an exclusive ``flock`` on
+  ``<root>/.claims.lock`` so two stealers cannot both win.
+* **Poisoned claims** -- truncated, unparsable, or missing required
+  fields (e.g. a host killed mid-crash-loop, bit rot on shared
+  storage) -- are treated exactly like expired ones: reclaimable under
+  the same lock, never trusted.
+* **Release** deletes the claim only when the content still names this
+  board as holder -- a claim stolen after lease expiry is never
+  clobbered by the original (slow) holder.
+
+Claims are advisory: correctness never depends on them.  If a lease
+expires while the holder is still (slowly) computing, two hosts
+compute the same cell and both commit -- the store's atomic
+content-addressed commits make the duplicate harmless, and results
+stay byte-identical to a single-host run.  That is why the protocol
+needs no fencing tokens: the lease only bounds *wasted work*, not
+correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ExperimentError
+
+try:  # pragma: no cover - platform dependent
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+#: Default claim lease in seconds.  Long enough for any paper-grid
+#: cell at full scale; a dead host delays takeover by at most this.
+DEFAULT_CLAIM_LEASE = 300.0
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One parsed claim file (see module docstring for the protocol)."""
+
+    key: str
+    holder: str
+    acquired: float
+    expires: float
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the lease has lapsed at ``now`` (default: wall clock)."""
+        return (time.time() if now is None else now) >= self.expires
+
+
+class ClaimBoard:
+    """Advisory cell claims for one shared claim directory.
+
+    Parameters
+    ----------
+    root:
+        Shared directory holding the claim files (created on first
+        use).  Point every cooperating host at the same directory --
+        typically a sibling of the shared store root.
+    lease:
+        Seconds a claim stays valid without being released.  Must
+        exceed the longest single-cell compute time, else live hosts
+        duplicate work (harmlessly, but measurably).
+    holder:
+        Identity written into claim files; defaults to
+        ``<hostname>:<pid>`` which is unique across cooperating
+        processes.
+    """
+
+    def __init__(self, root, lease: float = DEFAULT_CLAIM_LEASE, holder=None):
+        if lease <= 0.0:
+            raise ExperimentError(f"claim lease must be positive, got {lease}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.lease = float(lease)
+        self.holder = holder or f"{socket.gethostname()}:{os.getpid()}"
+        self._held: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.claim"
+
+    def _payload(self, key: str, now: float) -> bytes:
+        record = {
+            "key": key,
+            "holder": self.holder,
+            "acquired": now,
+            "expires": now + self.lease,
+        }
+        return json.dumps(record, sort_keys=True).encode("utf-8")
+
+    def _read(self, key: str) -> Claim | None:
+        """Parse one claim file; ``None`` for missing *or poisoned* claims."""
+        try:
+            record = json.loads(self._path(key).read_bytes())
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
+            return None  # poisoned: unparsable bytes
+        if not isinstance(record, dict):
+            return None
+        try:
+            return Claim(
+                key=str(record["key"]),
+                holder=str(record["holder"]),
+                acquired=float(record["acquired"]),
+                expires=float(record["expires"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None  # poisoned: missing/mistyped fields
+
+    def _write_temp(self, key: str, now: float) -> str:
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".claim-")
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(self._payload(key, now))
+        return tmp
+
+    # ------------------------------------------------------------------
+    def acquire(self, key: str) -> bool:
+        """Try to claim ``key``; ``True`` when this board now holds it.
+
+        Fresh keys are claimed via atomic exclusive creation; keys with
+        an expired or poisoned claim are stolen under the board lock
+        (with a re-check inside the lock, so concurrent stealers
+        serialise).  A live claim by another holder -- or by this board
+        itself -- returns ``False``.
+        """
+        if key in self._held:
+            return False
+        now = time.time()
+        path = self._path(key)
+        tmp = self._write_temp(key, now)
+        try:
+            try:
+                os.link(tmp, path)
+            except FileExistsError:
+                pass
+            else:
+                self._held.add(key)
+                return True
+        finally:
+            os.unlink(tmp)
+        existing = self._read(key)
+        if existing is not None and not existing.expired(now):
+            return False
+        return self._steal(key)
+
+    def _steal(self, key: str) -> bool:
+        """Replace an expired/poisoned claim, serialised by the board lock."""
+        now = time.time()
+        path = self._path(key)
+        with open(self.root / ".claims.lock", "w") as lock:
+            if fcntl is not None:
+                fcntl.flock(lock, fcntl.LOCK_EX)
+            try:
+                # Re-verify under the lock: another stealer may have
+                # replaced the claim between our check and the lock.
+                existing = self._read(key)
+                if (
+                    existing is not None
+                    and not existing.expired(now)
+                    and path.exists()
+                ):
+                    return False
+                tmp = self._write_temp(key, now)
+                os.replace(tmp, path)
+                self._held.add(key)
+                return True
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(lock, fcntl.LOCK_UN)
+
+    def release(self, key: str) -> bool:
+        """Drop this board's claim on ``key`` (if it still holds it).
+
+        A claim stolen after lease expiry belongs to the thief: the
+        original holder's release leaves it untouched and returns
+        ``False``.
+        """
+        self._held.discard(key)
+        existing = self._read(key)
+        if existing is None or existing.holder != self.holder:
+            return False
+        try:
+            self._path(key).unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
+    def release_all(self) -> int:
+        """Release every claim this board still holds; returns the count.
+
+        Called by orchestrators on exit (success *or* failure) so an
+        erroring host never blocks its peers for a full lease.
+        """
+        released = 0
+        for key in sorted(self._held):
+            if self.release(key):
+                released += 1
+        return released
+
+    def holder_of(self, key: str) -> Claim | None:
+        """The live claim on ``key``, or ``None`` (missing/expired/poisoned)."""
+        claim = self._read(key)
+        if claim is None or claim.expired():
+            return None
+        return claim
+
+    def held(self) -> tuple[str, ...]:
+        """Keys this board currently believes it holds (sorted)."""
+        return tuple(sorted(self._held))
+
+    def sweep(self) -> int:
+        """Delete every expired or poisoned claim file; returns the count.
+
+        Maintenance only (the acquire path already steals them); keeps
+        long-lived shared claim directories from accumulating litter.
+        """
+        removed = 0
+        for path in list(self.root.glob("*.claim")):
+            key = path.stem
+            claim = self._read(key)
+            if claim is None or claim.expired():
+                with open(self.root / ".claims.lock", "w") as lock:
+                    if fcntl is not None:
+                        fcntl.flock(lock, fcntl.LOCK_EX)
+                    try:
+                        claim = self._read(key)
+                        if claim is None or claim.expired():
+                            try:
+                                path.unlink()
+                                removed += 1
+                            except FileNotFoundError:
+                                pass
+                    finally:
+                        if fcntl is not None:
+                            fcntl.flock(lock, fcntl.LOCK_UN)
+        return removed

@@ -43,6 +43,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.exceptions import ExperimentError
+from repro.faultpoints import reach
 from repro.store.keys import canonical_json
 
 try:  # pragma: no cover - platform dependent
@@ -165,6 +166,10 @@ class ResultStore:
             blob = buffer.getvalue()
             npz_sha = _sha256(blob)
             self._atomic_write(self._npz_path(key), blob)
+        # Crash-recovery test hook: a process killed here has written
+        # the .npz but not the .json commit record -- the orphan state
+        # gc() reclaims and get() never serves.
+        reach("store:mid-commit")
         payload_json = canonical_json(payload)
         record = {
             "version": STORE_VERSION,

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Coverage-ratchet gate: line coverage must never drop below the floor.
+
+Usage::
+
+    # Gate a coverage.xml produced by `pytest --cov=repro --cov-report=xml`
+    python tools/check_coverage.py coverage.xml
+
+    # Raise the committed floor to the measured value (rounded down):
+    python tools/check_coverage.py coverage.xml --update
+
+The floor lives in ``tools/coverage_floor.txt`` -- a single number, the
+minimum acceptable line-coverage percentage of ``src/repro``.  The gate
+is a *ratchet*: CI fails when a change drops coverage below the floor,
+and ``--update`` only ever moves the floor up (floors are earned, not
+negotiated down; lowering it is a deliberate, reviewed edit of the
+file).  The XML parse reads only the root ``line-rate`` attribute, so
+any Cobertura-style report (pytest-cov, coverage.py) works.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ElementTree
+from pathlib import Path
+
+FLOOR_FILE = Path(__file__).parent / "coverage_floor.txt"
+
+
+def measured_percent(report: Path) -> float:
+    """Overall line coverage (percent) from a Cobertura XML report."""
+    try:
+        root = ElementTree.parse(report).getroot()
+    except (OSError, ElementTree.ParseError) as error:
+        raise SystemExit(f"{report}: cannot read coverage XML ({error})")
+    rate = root.get("line-rate")
+    if rate is None:
+        raise SystemExit(f"{report}: no line-rate attribute (not Cobertura XML?)")
+    return float(rate) * 100.0
+
+
+def current_floor() -> float:
+    """The committed minimum, or 0 when no floor file exists yet."""
+    try:
+        return float(FLOOR_FILE.read_text().strip())
+    except FileNotFoundError:
+        return 0.0
+    except ValueError:
+        raise SystemExit(f"{FLOOR_FILE}: not a number")
+
+
+def main(argv=None) -> int:
+    """Compare measured coverage against the ratchet floor."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, help="coverage.xml to gate")
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="raise the floor to the measured value (never lowers it)",
+    )
+    args = parser.parse_args(argv)
+
+    percent = measured_percent(args.report)
+    floor = current_floor()
+
+    if args.update:
+        new_floor = max(floor, float(int(percent * 10)) / 10.0)
+        FLOOR_FILE.write_text(f"{new_floor:.1f}\n")
+        print(f"coverage floor: {floor:.1f}% -> {new_floor:.1f}% "
+              f"(measured {percent:.2f}%)")
+        return 0
+
+    if percent < floor:
+        print(
+            f"coverage regression: {percent:.2f}% measured, floor is "
+            f"{floor:.1f}% (tools/coverage_floor.txt)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"coverage ok: {percent:.2f}% (floor {floor:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
