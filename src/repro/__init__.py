@@ -54,6 +54,7 @@ from repro.data import (
 )
 from repro.exceptions import FrappError
 from repro.metrics import evaluate_mining
+from repro.service.client import RetryPolicy
 from repro.pipeline import (
     AccumulatedSupportEstimator,
     BitmapAccumulator,
@@ -134,6 +135,7 @@ __all__ = [
     "RandomizedGammaDiagonal",
     "RandomizedGammaDiagonalPerturbation",
     "ResultStore",
+    "RetryPolicy",
     "Schema",
     "Session",
     "SolverDivergedError",

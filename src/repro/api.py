@@ -262,18 +262,20 @@ def mine(data, min_support: float = 0.02, *, schema=None, mechanism="det-gd",
     )
 
 
-def connect(address="127.0.0.1:8417", *, timeout: float = 60.0):
+def connect(address="127.0.0.1:8417", *, timeout: float = 60.0, retry=None):
     """A client for a running ``frapp serve`` daemon.
 
     ``address`` may be ``"host:port"``, a bare port integer, or an
     ``http://host:port`` URL (as announced by ``frapp serve`` on
-    startup).  Returns a
+    startup).  ``retry`` is an optional
+    :class:`~repro.service.client.RetryPolicy` for deadline-aware
+    backoff on retry-safe requests.  Returns a
     :class:`~repro.service.client.ServiceClient`.
     """
     from repro.service.client import ServiceClient
 
     if isinstance(address, int):
-        return ServiceClient(port=address, timeout=timeout)
+        return ServiceClient(port=address, timeout=timeout, retry=retry)
     address = str(address)
     if address.startswith("http://"):
         address = address[len("http://") :].rstrip("/")
@@ -281,7 +283,9 @@ def connect(address="127.0.0.1:8417", *, timeout: float = 60.0):
     if not host:
         host, port = address, "8417"
     try:
-        return ServiceClient(host=host, port=int(port), timeout=timeout)
+        return ServiceClient(
+            host=host, port=int(port), timeout=timeout, retry=retry
+        )
     except ValueError:
         raise ExperimentError(
             f"cannot parse service address {address!r}; expected host:port"

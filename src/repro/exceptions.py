@@ -99,6 +99,84 @@ class ServiceError(FrappError):
         self.details = dict(details or {})
 
 
+class ServiceUnavailableError(ServiceError):
+    """The service could not be reached (refused, reset, torn response).
+
+    Raised by the client when the transport fails before a complete
+    HTTP response arrives: connection refused, connection reset, a
+    response torn mid-frame.  Never raised for structured server
+    refusals -- those keep their own types.  The request **may or may
+    not** have been applied server-side; only requests carrying an
+    idempotency key (or GETs) are safe to retry blindly.
+    """
+
+    def __init__(self, message, *, code: str = "unavailable",
+                 details: dict | None = None):
+        super().__init__(message, status=503, code=code, details=details)
+
+
+class ServiceTimeoutError(ServiceUnavailableError):
+    """A single request attempt timed out at the socket level.
+
+    The per-attempt counterpart of :class:`DeadlineExceededError`:
+    one socket send/receive exceeded the attempt timeout.  Retryable
+    under the same rules as :class:`ServiceUnavailableError`.
+    """
+
+    def __init__(self, message, *, details: dict | None = None):
+        super().__init__(message, code="timeout", details=details)
+        self.status = 504
+
+
+class ServiceOverloadedError(ServiceError):
+    """The server shed this request under admission control (HTTP 429).
+
+    The overload contract: the request was refused *before* any state
+    changed, so it is always safe to retry -- after honouring
+    :attr:`retry_after`.  Raised by the client once its retry budget
+    (attempts or deadline) is exhausted.
+
+    Attributes
+    ----------
+    retry_after:
+        Server-suggested seconds to wait before retrying (``None``
+        when the server did not say).
+    """
+
+    def __init__(self, message, *, retry_after: float | None = None,
+                 details: dict | None = None):
+        super().__init__(
+            message, status=429, code="overloaded", details=details
+        )
+        self.retry_after = None if retry_after is None else float(retry_after)
+
+
+class DeadlineExceededError(ServiceError):
+    """A client-side overall deadline expired before a request succeeded.
+
+    Raised by :class:`~repro.service.client.ServiceClient` when its
+    :class:`~repro.service.client.RetryPolicy` runs out of deadline (or
+    attempts with the deadline already spent) -- instead of sleeping
+    past it.  Carries the error of the last attempt for diagnosis.
+
+    Attributes
+    ----------
+    attempts:
+        Request attempts performed before giving up.
+    last_error:
+        The exception the final attempt raised (``None`` when the
+        deadline expired before any attempt failed).
+    """
+
+    def __init__(self, message, *, attempts: int = 0, last_error=None,
+                 details: dict | None = None):
+        super().__init__(
+            message, status=504, code="deadline_exceeded", details=details
+        )
+        self.attempts = int(attempts)
+        self.last_error = last_error
+
+
 class BudgetExceededError(ServiceError, PrivacyError):
     """A submission would breach a tenant's cumulative privacy budget.
 

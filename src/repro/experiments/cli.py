@@ -438,6 +438,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="refuse unknown tenants/collections instead of creating "
         "them with the default budget and mechanism",
     )
+    service.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission limit on concurrent mutating requests; excess "
+        "is shed with HTTP 429 (default 64)",
+    )
+    service.add_argument(
+        "--max-queued-rows",
+        type=int,
+        default=None,
+        help="admission limit on rows queued in micro-batchers; "
+        "submissions above it are shed with HTTP 429 (default 200000)",
+    )
+    service.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=None,
+        help="seconds shutdown waits for in-flight requests before "
+        "cancelling their connections (default 5.0)",
+    )
     return parser
 
 
@@ -449,6 +470,11 @@ def _run_serve(args) -> int:
     from repro.mechanisms.registry import factory_accepts, get
     from repro.service import ServiceConfig, run_server
     from repro.service.batcher import DEFAULT_MAX_BATCH, DEFAULT_MAX_LATENCY
+    from repro.service.server import (
+        DEFAULT_DRAIN_DEADLINE,
+        DEFAULT_MAX_INFLIGHT,
+        DEFAULT_MAX_QUEUED_ROWS,
+    )
 
     schema = census_schema() if args.schema == "census" else health_schema()
     params = {}
@@ -468,6 +494,21 @@ def _run_serve(args) -> int:
             DEFAULT_MAX_LATENCY if args.max_latency is None else args.max_latency
         ),
         auto_register=not args.no_auto_register,
+        max_inflight=(
+            DEFAULT_MAX_INFLIGHT
+            if args.max_inflight is None
+            else args.max_inflight
+        ),
+        max_queued_rows=(
+            DEFAULT_MAX_QUEUED_ROWS
+            if args.max_queued_rows is None
+            else args.max_queued_rows
+        ),
+        drain_deadline=(
+            DEFAULT_DRAIN_DEADLINE
+            if args.drain_deadline is None
+            else args.drain_deadline
+        ),
     )
 
     def announce(port):

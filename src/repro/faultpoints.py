@@ -29,6 +29,13 @@ from pathlib import Path
 #: Environment variable naming the fault-point directory (off = unset).
 FAULTPOINTS_ENV = "REPRO_FAULTPOINTS"
 
+#: Service-path barrier: a submission's batch has been perturbed,
+#: spooled, journaled and acknowledged, but its HTTP response has not
+#: been written yet.  Killing a daemon frozen here models the worst
+#: network outcome -- state durably applied, client never told -- and
+#: is how the chaos suite proves idempotent replay across restarts.
+SERVICE_PRE_RESPOND = "service:pre-respond"
+
 #: Seconds between ``.hold`` polls while frozen at a barrier.
 _POLL_INTERVAL = 0.01
 

@@ -23,7 +23,7 @@ from repro.service.batcher import (
     DEFAULT_MAX_LATENCY,
     MicroBatcher,
 )
-from repro.service.client import ServiceClient
+from repro.service.client import RetryPolicy, ServiceClient
 from repro.service.ledger import (
     LEDGER_VERSION,
     CollectionRecord,
@@ -48,6 +48,7 @@ __all__ = [
     "MAX_RECORDS_PER_REQUEST",
     "MicroBatcher",
     "PerturbationService",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceConfig",
     "ServiceServer",

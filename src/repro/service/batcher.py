@@ -45,10 +45,13 @@ class MicroBatcher:
     Parameters
     ----------
     process:
-        ``(records) -> result`` -- the batch worker (perturb, spool
-        append, ledger acknowledge); its result is shared by every
-        submission in the batch.  Called on the event-loop thread,
-        strictly in arrival order.
+        ``(records, parts) -> result`` -- the batch worker (perturb,
+        spool append, journal, ledger acknowledge); its result is
+        shared by every submission in the batch.  ``parts`` is the
+        batch's composition in arrival order, one ``(offset, n,
+        context)`` triple per submission (``context`` is whatever the
+        submitter passed, e.g. an idempotency key).  Called on the
+        event-loop thread, strictly in arrival order.
     max_batch:
         Row count that triggers an immediate flush.
     max_latency:
@@ -69,23 +72,29 @@ class MicroBatcher:
         self._process = process
         self.max_batch = int(max_batch)
         self.max_latency = float(max_latency)
-        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self._pending: list[tuple[np.ndarray, object, asyncio.Future]] = []
         self._pending_rows = 0
         self._timer: asyncio.TimerHandle | None = None
         self.batches_flushed = 0
         self.records_processed = 0
 
-    async def submit(self, records: np.ndarray):
+    @property
+    def pending_rows(self) -> int:
+        """Rows enqueued but not yet flushed (the admission meter)."""
+        return self._pending_rows
+
+    async def submit(self, records: np.ndarray, context=None):
         """Enqueue one submission; resolves once its batch is processed.
 
         Returns ``(result, offset, n)``: the shared ``process`` result
         of the flushed batch, plus this submission's row offset and row
         count within it (arrival order), from which the caller slices
-        its own records.
+        its own records.  ``context`` rides along into the ``parts``
+        triples handed to ``process``.
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((records, future))
+        self._pending.append((records, context, future))
         self._pending_rows += int(records.shape[0])
         if self._pending_rows >= self.max_batch:
             self._flush()
@@ -109,20 +118,23 @@ class MicroBatcher:
         batch = (
             pending[0][0]
             if len(pending) == 1
-            else np.concatenate([records for records, _ in pending], axis=0)
+            else np.concatenate([records for records, _, _ in pending], axis=0)
         )
+        parts = []
+        offset = 0
+        for records, context, _ in pending:
+            n = int(records.shape[0])
+            parts.append((offset, n, context))
+            offset += n
         try:
-            result = self._process(batch)
+            result = self._process(batch, parts)
         except BaseException as error:
-            for _, future in pending:
+            for _, _, future in pending:
                 if not future.cancelled():
                     future.set_exception(error)
             return
-        offset = 0
-        for records, future in pending:
-            n = int(records.shape[0])
+        for (offset, n, _), (_, _, future) in zip(parts, pending):
             if not future.cancelled():
                 future.set_result((result, offset, n))
-            offset += n
         self.batches_flushed += 1
-        self.records_processed += offset
+        self.records_processed += int(batch.shape[0])

@@ -21,6 +21,19 @@ bounds.  The ledger is the accountant made persistent and cumulative:
   **not** applied, so a refused tenant can still spend exact remaining
   headroom on a smaller mechanism.
 
+Exactly-once journal
+--------------------
+Each ledger also carries the tenant's **idempotency journal**: a
+capped, insertion-ordered map from client-generated idempotency keys
+to the response of the mutating request that first carried them.  The
+journal is serialised *inside* the ledger JSON, so the atomic write
+that acknowledges a submission (or charges a collection) also makes
+its journal entry durable -- a crash can leave "neither applied nor
+journaled" or "both", never one without the other.  A retried request
+whose key is journaled replays the recorded response instead of
+re-spooling rows or re-charging budget; a key reused with a different
+payload is refused with HTTP 409 (``idempotency_conflict``).
+
 Durability
 ----------
 Ledger state lives in one JSON file per tenant
@@ -48,6 +61,11 @@ from repro.store.store import atomic_write_json
 
 #: On-disk ledger format version; bump on incompatible changes.
 LEDGER_VERSION = 1
+
+#: Idempotency journal entries kept per tenant (oldest evicted first).
+#: The journal is a sliding dedup window, not an audit log: a client
+#: retries within seconds, not after thousands of interleaved keys.
+JOURNAL_CAP = 4096
 
 
 @dataclass
@@ -110,6 +128,12 @@ class TenantLedger:
     budget: PrivacyRequirement
     collections: dict[str, CollectionRecord] = field(default_factory=dict)
     cumulative: PrivacyStatement | None = None
+    #: Idempotency journal: key -> {"digest", "response"}, insertion
+    #: ordered, capped at :data:`JOURNAL_CAP`.  Serialised inside the
+    #: same atomic ledger write as the acknowledgement it belongs to,
+    #: so "journaled" and "applied" are indistinguishable under crashes
+    #: -- the exactly-once invariant.
+    journal: dict[str, dict] = field(default_factory=dict)
 
     @property
     def rho1(self) -> float:
@@ -190,6 +214,45 @@ class TenantLedger:
         self.cumulative = projected
         return record
 
+    # ------------------------------------------------------------------
+    # idempotency journal
+    # ------------------------------------------------------------------
+    def journal_lookup(self, key: str, digest: str) -> dict | None:
+        """The journaled response for ``key``, or ``None`` when unseen.
+
+        Raises
+        ------
+        ServiceError
+            With code ``idempotency_conflict`` (HTTP 409) when ``key``
+            was journaled for a *different* payload: replaying the old
+            response would silently drop the new one, and applying the
+            new one would break the client's exactly-once assumption.
+        """
+        entry = self.journal.get(key)
+        if entry is None:
+            return None
+        if entry["digest"] != digest:
+            raise ServiceError(
+                f"idempotency key {key!r} of tenant {self.tenant!r} was "
+                f"already used with a different payload",
+                code="idempotency_conflict",
+                status=409,
+                details={"tenant": self.tenant, "idempotency_key": key},
+            )
+        return entry["response"]
+
+    def journal_record(self, key: str, digest: str, response: dict) -> None:
+        """Journal ``response`` under ``key`` (evicting beyond the cap).
+
+        Callers must persist the ledger in the same step that applies
+        the journaled effect -- for submissions that is the batch
+        acknowledgement save, for collections the charge save -- so a
+        crash can never separate "applied" from "journaled".
+        """
+        self.journal[key] = {"digest": digest, "response": dict(response)}
+        while len(self.journal) > JOURNAL_CAP:
+            self.journal.pop(next(iter(self.journal)))
+
     def to_dict(self) -> dict:
         """JSON-able form (inverse of :meth:`from_dict`)."""
         return {
@@ -203,6 +266,9 @@ class TenantLedger:
             "cumulative": (
                 None if self.cumulative is None else self.cumulative.to_dict()
             ),
+            # Insertion order IS the eviction order; JSON objects keep
+            # it, so the journal round-trips with its window intact.
+            "journal": {key: dict(entry) for key, entry in self.journal.items()},
         }
 
     @classmethod
@@ -226,6 +292,13 @@ class TenantLedger:
                 if cumulative is None
                 else PrivacyStatement.from_dict(cumulative)
             ),
+            journal={
+                str(key): {
+                    "digest": str(entry["digest"]),
+                    "response": dict(entry["response"]),
+                }
+                for key, entry in data.get("journal", {}).items()
+            },
         )
 
 

@@ -32,16 +32,33 @@ the same records in the same order.  After a crash or restart the
 stream fast-forwards past the spool's recovered record count, so the
 continuation is bit-identical too.
 
+Exactly-once and overload contract
+----------------------------------
+Mutating requests may carry a client-generated ``idempotency_key``.
+Keyed submissions are journaled into the tenant ledger **atomically
+with** the spool acknowledgement, so a retry after any crash or network
+failure replays the original response instead of re-applying (same for
+``/v1/collections`` charges; ``/v1/tenants`` is naturally idempotent and
+``/v1/perturb`` keeps a bounded in-memory journal).  A key reused with a
+different payload is refused with HTTP 409 ``idempotency_conflict``.
+When more than ``max_inflight`` POSTs are executing -- or a submission
+arrives with ``max_queued_rows`` already enqueued -- the request is shed
+*before any state change* with HTTP 429 ``overloaded`` plus a
+``Retry-After`` header; shed counters appear under ``admission`` in
+``GET /v1/health``.
+
 Endpoints (all bodies JSON; see :mod:`repro.service.wire`)::
 
-    GET  /v1/health                liveness + schema + wire version
+    GET  /v1/health                liveness + schema + admission counters
     GET  /v1/ledger                per-tenant cumulative budget summary
     GET  /v1/ledger/<tenant>       one tenant's full ledger
     POST /v1/tenants               {tenant, rho1?, rho2?}
-    POST /v1/collections           {tenant, collection?, mechanism?, seed?}
-    POST /v1/perturb               {records, mechanism?, seed?} (stateless)
+    POST /v1/collections           {tenant, collection?, mechanism?, seed?,
+                                    idempotency_key?}
+    POST /v1/perturb               {records, mechanism?, seed?,
+                                    idempotency_key?} (stateless)
     POST /v1/submit                {tenant, collection?, records,
-                                    return_records?}
+                                    return_records?, idempotency_key?}
     POST /v1/reconstruct           {tenant, collection?, itemsets}
     POST /v1/mine                  {tenant, collection?, min_support?,
                                     max_length?}
@@ -57,6 +74,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 
+from repro import faultpoints
 from repro.core.privacy import PrivacyRequirement
 from repro.data.io import FrdSpool
 from repro.data.schema import Schema
@@ -75,6 +93,19 @@ from repro.service.ledger import LedgerStore, TenantLedger
 
 #: Largest request body the HTTP front end accepts (64 MiB).
 MAX_BODY_BYTES = 64 << 20
+
+#: Default admission high-water marks (see :class:`ServiceConfig`).
+DEFAULT_MAX_INFLIGHT = 64
+DEFAULT_MAX_QUEUED_ROWS = 200_000
+
+#: Default seconds :meth:`ServiceServer.stop` gives in-flight requests
+#: to complete before their connection tasks are cancelled.
+DEFAULT_DRAIN_DEADLINE = 5.0
+
+#: Keyed stateless-perturb responses replayed from process memory (the
+#: endpoint has no tenant, hence no persistent journal; see
+#: :meth:`PerturbationService.handle_perturb`).
+PERTURB_JOURNAL_CAP = 128
 
 
 def derive_collection_seed(root_seed: int, tenant: str, collection: str) -> int:
@@ -115,6 +146,16 @@ class ServiceConfig:
         Whether first-touch tenants/collections are created implicitly
         with the defaults (convenient for simulations; production
         configs disable it and register budgets explicitly).
+    max_inflight:
+        Admission limit on mutating (POST) requests executing at once;
+        excess requests are shed with HTTP 429 before any state
+        changes.
+    max_queued_rows:
+        Admission limit on rows enqueued in micro-batchers but not yet
+        flushed; submissions arriving above it are shed with HTTP 429.
+    drain_deadline:
+        Seconds :meth:`ServiceServer.stop` waits for in-flight
+        requests to finish before cancelling their connections.
     """
 
     schema: Schema
@@ -128,6 +169,9 @@ class ServiceConfig:
     max_batch: int = DEFAULT_MAX_BATCH
     max_latency: float = DEFAULT_MAX_LATENCY
     auto_register: bool = True
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    max_queued_rows: int = DEFAULT_MAX_QUEUED_ROWS
+    drain_deadline: float = DEFAULT_DRAIN_DEADLINE
 
 
 class CollectionRuntime:
@@ -159,11 +203,35 @@ class CollectionRuntime:
             max_latency=service.config.max_latency,
         )
 
-    def _process_batch(self, batch):
-        """Perturb one flushed batch, spool it, acknowledge the ledger."""
+    def _process_batch(self, batch, parts):
+        """Perturb one flushed batch, spool it, journal, acknowledge.
+
+        ``parts`` is the batch composition from the micro-batcher; any
+        part whose context is an ``(idempotency key, digest)`` pair has
+        its response journaled into the tenant ledger **in the same
+        atomic save** that acknowledges the spooled rows, so a crash
+        leaves either both (retry replays the journaled response) or
+        neither (retry re-applies against the recovered spool).
+        """
         perturbed = self.stream.perturb_batch(batch)
         start, stop = self.spool.append(perturbed)
         self.record.records = self.spool.n_records
+        for offset, n, context in parts:
+            if context is None:
+                continue
+            key, digest = context
+            self.ledger.journal_record(
+                key,
+                digest,
+                {
+                    "tenant": self.ledger.tenant,
+                    "collection": self.record.name,
+                    "accepted": n,
+                    "start": start + offset,
+                    "stop": start + offset + n,
+                    "spooled": self.spool.n_records,
+                },
+            )
         self._service.ledgers.save(self.ledger)
         return {"start": start, "stop": stop, "perturbed": perturbed}
 
@@ -195,6 +263,14 @@ class PerturbationService:
         self.accountant = PrivacyAccountant(rho1=config.rho1)
         self._tenants: dict[str, TenantLedger] = {}
         self._runtimes: dict[tuple[str, str], CollectionRuntime] = {}
+        # Keyed submissions currently queued/being applied: duplicates
+        # arriving while the original is still in flight await the same
+        # batcher task instead of enqueueing the records twice.
+        self._pending_keys: dict[tuple[str, str], asyncio.Task] = {}
+        # Stateless /v1/perturb has no tenant ledger; keyed requests
+        # get a bounded in-memory replay journal instead (insertion
+        # order == FIFO eviction order).
+        self._perturb_journal: dict[str, tuple[str, dict]] = {}
         for tenant in self.ledgers.tenants():
             ledger = self.ledgers.load(tenant)
             self._tenants[tenant] = ledger
@@ -255,8 +331,14 @@ class PerturbationService:
         collection: str,
         mechanism: dict | None = None,
         seed: int | None = None,
+        journal: tuple[str, str] | None = None,
     ) -> CollectionRuntime:
         """Open a collection, charging its mechanism to the tenant budget.
+
+        When ``journal`` is an ``(idempotency key, digest)`` pair, the
+        response body is journaled in the same atomic ledger save that
+        persists the charge, so a retried open replays instead of
+        charging the budget twice.
 
         Raises
         ------
@@ -285,6 +367,11 @@ class PerturbationService:
             # must not consume budget.
             del ledger.collections[collection]
             raise
+        if journal is not None:
+            key, digest = journal
+            ledger.journal_record(
+                key, digest, self._collection_response(tenant, collection, runtime)
+            )
         self.ledgers.save(ledger)
         self._runtimes[(tenant, collection)] = runtime
         return runtime
@@ -352,21 +439,18 @@ class PerturbationService:
 
     def handle_tenants(self, body: dict) -> dict:
         """``POST /v1/tenants``."""
+        # Registration is naturally idempotent (re-registering the same
+        # budget returns the existing ledger; a different budget is a
+        # 409), so a key is validated but needs no journal entry.
+        wire.idempotency_key(body)
         ledger = self.register_tenant(
             wire.tenant_name(body), body.get("rho1"), body.get("rho2")
         )
         return {"tenant": ledger.tenant, "ledger": ledger.to_dict()}
 
-    def handle_collections(self, body: dict) -> dict:
-        """``POST /v1/collections``."""
-        tenant = wire.tenant_name(body)
-        collection = wire.collection_name(body)
-        seed = body.get("seed")
-        if seed is not None and not isinstance(seed, int):
-            raise ServiceError("field 'seed' must be an integer")
-        runtime = self.open_collection(
-            tenant, collection, body.get("mechanism"), seed
-        )
+    def _collection_response(
+        self, tenant: str, collection: str, runtime: CollectionRuntime
+    ) -> dict:
         ledger = self._tenants[tenant]
         return {
             "tenant": tenant,
@@ -378,6 +462,33 @@ class PerturbationService:
             "headroom": ledger.headroom(),
         }
 
+    def handle_collections(self, body: dict) -> dict:
+        """``POST /v1/collections``."""
+        tenant = wire.tenant_name(body)
+        collection = wire.collection_name(body)
+        seed = body.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ServiceError("field 'seed' must be an integer")
+        key = wire.idempotency_key(body)
+        journal = None
+        if key is not None:
+            digest = wire.payload_digest(
+                {
+                    "collection": collection,
+                    "mechanism": body.get("mechanism"),
+                    "seed": seed,
+                    "tenant": tenant,
+                }
+            )
+            replay = self._tenant(tenant).journal_lookup(key, digest)
+            if replay is not None:
+                return dict(replay, replayed=True)
+            journal = (key, digest)
+        runtime = self.open_collection(
+            tenant, collection, body.get("mechanism"), seed, journal=journal
+        )
+        return self._collection_response(tenant, collection, runtime)
+
     def handle_perturb(self, body: dict) -> dict:
         """``POST /v1/perturb`` -- stateless, ledger-free perturbation.
 
@@ -386,7 +497,8 @@ class PerturbationService:
         is ever stored).  Bit-identical to the offline
         ``engine.perturb(dataset, seed)`` for the same seed.
         """
-        records = wire.decode_records(self.schema, wire.require(body, "records"))
+        rows = wire.require(body, "records")
+        records = wire.decode_records(self.schema, rows)
         spec = MechanismSpec.from_dict(
             body.get("mechanism") or self.config.mechanism
         )
@@ -400,19 +512,83 @@ class PerturbationService:
         seed = body.get("seed")
         if seed is not None and not isinstance(seed, int):
             raise ServiceError("field 'seed' must be an integer")
+        key = wire.idempotency_key(body)
+        digest = None
+        if key is not None:
+            digest = wire.payload_digest(
+                {"records": rows, "mechanism": body.get("mechanism"),
+                 "seed": seed}
+            )
+            entry = self._perturb_journal.get(key)
+            if entry is not None:
+                recorded, replay = entry
+                if recorded != digest:
+                    raise ServiceError(
+                        f"idempotency key {key!r} was already used with a "
+                        f"different payload",
+                        code="idempotency_conflict",
+                        status=409,
+                    )
+                return dict(replay, replayed=True)
         stream = SequentialPerturbStream(mechanism, seed=seed)
-        return {
+        response = {
             "records": wire.encode_records(stream.perturb_batch(records)),
             "mechanism": spec.canonical(),
         }
+        if key is not None:
+            self._perturb_journal[key] = (digest, dict(response))
+            while len(self._perturb_journal) > PERTURB_JOURNAL_CAP:
+                self._perturb_journal.pop(next(iter(self._perturb_journal)))
+        return response
+
+    def _submit_replay(self, replay: dict, body: dict) -> dict:
+        """Rebuild a journaled submit response, re-reading records."""
+        response = dict(replay, replayed=True)
+        if body.get("return_records"):
+            runtime = self._runtime(response["tenant"], response["collection"])
+            response["records"] = wire.encode_records(
+                runtime.spool.records(response["start"], response["stop"])
+            )
+        return response
 
     async def handle_submit(self, body: dict) -> dict:
-        """``POST /v1/submit`` -- micro-batched, spooled, acknowledged."""
+        """``POST /v1/submit`` -- micro-batched, spooled, acknowledged.
+
+        With an ``idempotency_key`` the submission is exactly-once: a
+        key already journaled replays the original response (re-reading
+        the perturbed rows from the spool if asked for), a key still in
+        flight joins the original's batcher task, and a key journaled
+        with a different payload digest is refused with HTTP 409.
+        """
         tenant = wire.tenant_name(body)
         collection = wire.collection_name(body)
-        records = wire.decode_records(self.schema, wire.require(body, "records"))
+        rows = wire.require(body, "records")
+        records = wire.decode_records(self.schema, rows)
+        key = wire.idempotency_key(body)
         runtime = self._runtime(tenant, collection)
-        result, offset, n = await runtime.batcher.submit(records)
+        if key is None:
+            result, offset, n = await runtime.batcher.submit(records)
+        else:
+            digest = wire.payload_digest(
+                {"collection": collection, "records": rows, "tenant": tenant}
+            )
+            replay = self._tenants[tenant].journal_lookup(key, digest)
+            if replay is not None:
+                return self._submit_replay(replay, body)
+            pending = self._pending_keys.get((tenant, key))
+            if pending is not None:
+                # Duplicate while the original is still queued: share
+                # its batch slot.  Shielded so one waiter's connection
+                # dying never cancels the application itself.
+                result, offset, n = await asyncio.shield(pending)
+            else:
+                task = asyncio.ensure_future(
+                    runtime.batcher.submit(records, context=(key, digest))
+                )
+                self._pending_keys[(tenant, key)] = task
+                task.add_done_callback(self._retire_pending(tenant, key))
+                result, offset, n = await asyncio.shield(task)
+        faultpoints.reach(faultpoints.SERVICE_PRE_RESPOND)
         response = {
             "tenant": tenant,
             "collection": collection,
@@ -426,6 +602,17 @@ class PerturbationService:
                 result["perturbed"][offset : offset + n]
             )
         return response
+
+    def _retire_pending(self, tenant: str, key: str):
+        def _done(task: asyncio.Task) -> None:
+            self._pending_keys.pop((tenant, key), None)
+            # The journal now answers for this key; also swallow the
+            # task's exception so an abandoned waiter (connection gone)
+            # never trips the loop's unretrieved-exception warning.
+            if not task.cancelled():
+                task.exception()
+
+        return _done
 
     def handle_reconstruct(self, body: dict) -> dict:
         """``POST /v1/reconstruct`` -- itemset supports from the spool."""
@@ -478,6 +665,12 @@ class PerturbationService:
             ],
         }
 
+    def queued_rows(self) -> int:
+        """Rows enqueued across all micro-batchers but not yet flushed."""
+        return sum(
+            runtime.batcher.pending_rows for runtime in self._runtimes.values()
+        )
+
     async def drain(self) -> None:
         """Flush every pending micro-batch (shutdown path)."""
         for runtime in self._runtimes.values():
@@ -496,6 +689,13 @@ class ServiceServer:
     Content-Length framing (no chunked encoding; requests and responses
     are single JSON documents).  Connections are keep-alive until the
     client closes or sends ``Connection: close``.
+
+    Admission control: mutating (POST) requests above
+    ``config.max_inflight`` -- or submissions arriving with
+    ``config.max_queued_rows`` already enqueued -- are shed with a
+    structured HTTP 429 and a ``Retry-After`` header *before* any state
+    changes, so a shed request is always safe to retry.  Shed counts
+    are reported in the ``admission`` block of ``GET /v1/health``.
     """
 
     def __init__(self, service: PerturbationService, host="127.0.0.1", port=0):
@@ -503,7 +703,15 @@ class ServiceServer:
         self.host = host
         self.port = int(port)
         self._server: asyncio.AbstractServer | None = None
-        self._connections: set[asyncio.Task] = set()
+        # Connection task -> busy flag (True while a request is being
+        # dispatched or its response written); stop() cancels idle
+        # connections immediately and gives busy ones the drain
+        # deadline.
+        self._states: dict[asyncio.Task, bool] = {}
+        self._stopping = False
+        self._inflight = 0
+        self.shed_inflight = 0
+        self.shed_queued = 0
 
     async def start(self) -> int:
         """Bind and start serving; returns the actual port."""
@@ -520,22 +728,107 @@ class ServiceServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
-        """Stop accepting, drain pending batches, close spools.
+    async def stop(self, drain_deadline: float | None = None) -> None:
+        """Stop accepting, drain in-flight work, close spools.
 
-        Live keep-alive connections (idle in their read loop) are
-        cancelled explicitly so shutdown never leaves tasks for the
-        event loop to complain about.
+        Idle keep-alive connections (parked in their read loop) are
+        cancelled immediately; connections with a request in flight get
+        ``drain_deadline`` seconds (``config.drain_deadline`` when
+        ``None``) to finish writing their response, then are cancelled
+        too.  Either way every pending micro-batch is flushed before
+        the spools close, so accepted submissions are never lost.
         """
+        config = self.service.config
+        deadline = (
+            config.drain_deadline if drain_deadline is None else drain_deadline
+        )
+        self._stopping = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for task in list(self._connections):
-            task.cancel()
-        if self._connections:
-            await asyncio.gather(*self._connections, return_exceptions=True)
+        busy = [task for task, flag in self._states.items() if flag]
+        for task in list(self._states):
+            if not self._states.get(task, False):
+                task.cancel()
+        if busy:
+            if deadline > 0:
+                _done, pending = await asyncio.wait(busy, timeout=deadline)
+                for task in pending:
+                    task.cancel()
+            else:
+                for task in busy:
+                    task.cancel()
+        if self._states:
+            await asyncio.gather(*list(self._states), return_exceptions=True)
         await self.service.drain()
         self.service.close()
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def _retry_after(self) -> float:
+        """Suggested client backoff: roughly one flush interval."""
+        return max(0.05, 2.0 * self.service.config.max_latency)
+
+    def _admission_refusal(self, method: str, path: str):
+        """A ``(status, payload, headers)`` refusal when shedding, else None.
+
+        Only mutating requests are admission-controlled; GETs (health,
+        ledger reads) always pass so operators can observe an
+        overloaded server.  Shedding happens before dispatch, hence
+        before any state change -- a 429 is always safe to retry.
+        """
+        if method != "POST":
+            return None
+        config = self.service.config
+        retry_after = self._retry_after()
+        error = None
+        if self._inflight >= config.max_inflight:
+            self.shed_inflight += 1
+            error = ServiceError(
+                f"server is at its in-flight request limit "
+                f"({config.max_inflight}); retry after {retry_after:g}s",
+                status=429,
+                code="overloaded",
+                details={
+                    "reason": "max_inflight",
+                    "limit": config.max_inflight,
+                    "retry_after": retry_after,
+                },
+            )
+        elif path == "/v1/submit" and (
+            self.service.queued_rows() >= config.max_queued_rows
+        ):
+            self.shed_queued += 1
+            error = ServiceError(
+                f"server has {self.service.queued_rows()} rows queued "
+                f"(limit {config.max_queued_rows}); retry after "
+                f"{retry_after:g}s",
+                status=429,
+                code="overloaded",
+                details={
+                    "reason": "max_queued_rows",
+                    "limit": config.max_queued_rows,
+                    "retry_after": retry_after,
+                },
+            )
+        if error is None:
+            return None
+        return 429, wire.error_body(error), {"Retry-After": f"{retry_after:g}"}
+
+    def admission_snapshot(self) -> dict:
+        """The ``admission`` block of ``GET /v1/health``."""
+        config = self.service.config
+        return {
+            "inflight": self._inflight,
+            "max_inflight": config.max_inflight,
+            "queued_rows": self.service.queued_rows(),
+            "max_queued_rows": config.max_queued_rows,
+            "shed_inflight": self.shed_inflight,
+            "shed_queued": self.shed_queued,
+            "shed_total": self.shed_inflight + self.shed_queued,
+            "retry_after": self._retry_after(),
+        }
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -543,27 +836,57 @@ class ServiceServer:
     async def _handle_connection(self, reader, writer):
         task = asyncio.current_task()
         if task is not None:
-            self._connections.add(task)
+            self._states[task] = False
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except ServiceError as error:
+                    # Protocol-level refusal (oversized Content-Length,
+                    # malformed request line): answer it and close --
+                    # the framing downstream of the error is suspect.
+                    await self._write_response(
+                        writer, error.status, wire.error_body(error), True
+                    )
+                    break
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload = await self._dispatch(method, path, body)
+                if task is not None:
+                    self._states[task] = True
                 close = headers.get("connection", "").lower() == "close"
-                await self._write_response(writer, status, payload, close)
-                if close:
+                refusal = self._admission_refusal(method, path)
+                if refusal is not None:
+                    status, payload, extra = refusal
+                    await self._write_response(
+                        writer, status, payload, close, headers=extra
+                    )
+                else:
+                    mutating = method == "POST"
+                    if mutating:
+                        self._inflight += 1
+                    try:
+                        status, payload = await self._dispatch(
+                            method, path, body
+                        )
+                    finally:
+                        if mutating:
+                            self._inflight -= 1
+                    await self._write_response(writer, status, payload, close)
+                if task is not None:
+                    self._states[task] = False
+                if close or self._stopping:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
             # Shutdown path: stop() cancelled an idle keep-alive
-            # connection; close the socket and finish quietly.
+            # connection (or a busy one past the drain deadline); close
+            # the socket and finish quietly.
             pass
         finally:
             if task is not None:
-                self._connections.discard(task)
+                self._states.pop(task, None)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -628,7 +951,9 @@ class ServiceServer:
         service = self.service
         if method == "GET":
             if path == "/v1/health":
-                return service.health()
+                return dict(
+                    service.health(), admission=self.admission_snapshot()
+                )
             if path == "/v1/ledger":
                 return service.ledger_summary()
             if path.startswith("/v1/ledger/"):
@@ -651,19 +976,13 @@ class ServiceServer:
         )
 
     @staticmethod
-    async def _write_response(writer, status: int, payload: dict, close: bool):
-        reasons = {200: "OK", 400: "Bad Request", 403: "Forbidden",
-                   404: "Not Found", 409: "Conflict",
-                   413: "Payload Too Large", 500: "Internal Server Error"}
-        body = json.dumps(payload).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'close' if close else 'keep-alive'}\r\n"
-            f"\r\n"
-        ).encode("latin-1")
-        writer.write(head + body)
+    async def _write_response(
+        writer, status: int, payload: dict, close: bool,
+        headers: dict | None = None,
+    ):
+        writer.write(
+            wire.frame_response(status, payload, close=close, headers=headers)
+        )
         await writer.drain()
 
 

@@ -21,6 +21,9 @@ responses reuse the same encoding.  Itemsets travel as
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 import numpy as np
 
 from repro.data.backing import record_dtype, validate_in_domain
@@ -33,6 +36,22 @@ WIRE_VERSION = 1
 
 #: Hard cap on records per request (keeps request bodies bounded).
 MAX_RECORDS_PER_REQUEST = 100_000
+
+#: Longest accepted client-generated idempotency key.
+MAX_IDEMPOTENCY_KEY_LENGTH = 200
+
+#: HTTP reason phrases for every status the service emits.
+REASON_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
 
 
 def error_body(error: ServiceError) -> dict:
@@ -77,6 +96,104 @@ def collection_name(body: dict) -> str:
             f"collection names must be non-empty and [-_.a-zA-Z0-9], got {name!r}"
         )
     return name
+
+
+def idempotency_key(body: dict) -> str | None:
+    """Validated optional ``idempotency_key`` field of a request body.
+
+    Keys are client-generated opaque tokens: non-empty printable
+    strings without whitespace, at most
+    :data:`MAX_IDEMPOTENCY_KEY_LENGTH` characters.  ``None`` when the
+    request carries no key.
+    """
+    key = body.get("idempotency_key") if isinstance(body, dict) else None
+    if key is None:
+        return None
+    if (
+        not isinstance(key, str)
+        or not key
+        or len(key) > MAX_IDEMPOTENCY_KEY_LENGTH
+        or any(c.isspace() or not c.isprintable() for c in key)
+    ):
+        raise ServiceError(
+            f"field 'idempotency_key' must be a non-empty printable string "
+            f"of at most {MAX_IDEMPOTENCY_KEY_LENGTH} characters without "
+            f"whitespace, got {key!r}"
+        )
+    return key
+
+
+def payload_digest(payload) -> str:
+    """Stable digest of a JSON-able request payload.
+
+    The dedup journal stores this next to each idempotency key so a
+    key reused with a *different* payload is detected as a conflict
+    (HTTP 409) instead of silently replaying the original response.
+    Canonical form: sorted keys, minimal separators, SHA-256.
+    """
+    encoded = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def frame_response(
+    status: int, payload: dict, *, close: bool = False,
+    headers: dict | None = None,
+) -> bytes:
+    """Serialise one JSON response into a complete HTTP/1.1 frame.
+
+    The single place response framing lives: the server writes these
+    bytes verbatim, and :func:`parse_response` inverts them exactly
+    (property-tested round trip).  ``headers`` adds extra header lines
+    (e.g. ``Retry-After``) after the fixed ones.
+    """
+    body = json.dumps(payload).encode("utf-8")
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
+    head = (
+        f"HTTP/1.1 {status} {REASON_PHRASES.get(status, 'Error')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+def parse_response(frame: bytes) -> tuple[int, dict, dict]:
+    """Parse a complete frame from :func:`frame_response`.
+
+    Returns ``(status, headers, payload)`` with header names
+    lower-cased.  Raises :class:`~repro.exceptions.ServiceError` on a
+    torn or malformed frame (missing header terminator, truncated or
+    oversized body, non-JSON payload) -- the conditions a client must
+    treat as "response never arrived".
+    """
+    head, sep, body = frame.partition(b"\r\n\r\n")
+    if not sep:
+        raise ServiceError("torn response: no header terminator")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or parts[0] != "HTTP/1.1" or not parts[1].isdigit():
+        raise ServiceError(f"malformed status line: {lines[0]!r}")
+    status = int(parts[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if len(body) != length:
+        raise ServiceError(
+            f"torn response body: Content-Length {length}, got {len(body)} bytes"
+        )
+    try:
+        payload = json.loads(body.decode("utf-8")) if body else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(f"response body is not valid JSON: {error}") from None
+    return status, headers, payload
 
 
 def decode_records(schema: Schema, rows) -> np.ndarray:

@@ -1,0 +1,245 @@
+"""A chaos TCP proxy: deterministic network faults between client and daemon.
+
+The exactly-once claims of the service (idempotent submission, journal
+replay, shed-before-state-change) are only provable if a test can make
+the network fail in every interesting way *between* a real client and a
+real ``frapp serve`` daemon.  This proxy sits on a local port, relays
+each accepted connection to the upstream daemon, and applies one fault
+mode per connection from a deterministic schedule:
+
+``ok``
+    Transparent bidirectional relay (keep-alive capable).
+``reset``
+    RST the client immediately, before anything reaches the daemon --
+    the request was **never applied**.
+``drop``
+    Read the full request, forward nothing, FIN-close -- never applied,
+    but the client saw a clean close instead of a reset.
+``blackhole``
+    Forward the request, swallow the daemon's entire response, then
+    RST -- the request **was applied** but the client never learns it.
+    The worst case for at-least-once clients; exactly-once needs the
+    idempotency journal here.
+``torn``
+    Forward the request, send the client only half of the response
+    bytes, then RST -- applied, acknowledged by a frame the client must
+    reject as torn.
+``delay``
+    Forward the request, hold the response for ``delay`` seconds, then
+    deliver it intact -- applied and acknowledged, just late.
+
+The schedule is consumed one entry per accepted connection (``ok``
+after exhaustion), so a retrying client walks the gauntlet entry by
+entry: every transport failure closes its connection, and the retry's
+fresh connection draws the next mode.  Connections are handled in
+daemon threads; :meth:`ChaosProxy.stop` tears everything down.
+
+Used by ``tests/test_chaos.py`` (the ``chaos`` CI lane); stdlib-only.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+#: Modes a schedule entry may name.
+MODES = ("ok", "reset", "drop", "blackhole", "torn", "delay")
+
+_RECV = 65536
+
+
+def _rst(sock: socket.socket) -> None:
+    """Close ``sock`` with an RST (linger 0) instead of an orderly FIN."""
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    sock.close()
+
+
+def _read_http_message(sock: socket.socket) -> bytes | None:
+    """One complete Content-Length-framed HTTP message from ``sock``."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        try:
+            chunk = sock.recv(_RECV)
+        except OSError:
+            return None
+        if not chunk:
+            return data or None
+        data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    while len(body) < length:
+        try:
+            chunk = sock.recv(_RECV)
+        except OSError:
+            break
+        if not chunk:
+            break
+        body += chunk
+    return head + b"\r\n\r\n" + body
+
+
+class ChaosProxy:
+    """Relay ``127.0.0.1:<port> -> upstream`` applying a fault schedule.
+
+    Parameters
+    ----------
+    upstream_port:
+        Where the real daemon listens (on 127.0.0.1).
+    schedule:
+        Fault modes (see :data:`MODES`), one consumed per accepted
+        connection, ``ok`` after exhaustion.
+    delay:
+        Seconds the ``delay`` mode holds a response back.
+    """
+
+    def __init__(self, upstream_port: int, schedule=(), *, delay: float = 0.3):
+        for mode in schedule:
+            if mode not in MODES:
+                raise ValueError(f"unknown chaos mode {mode!r}")
+        self.upstream_port = int(upstream_port)
+        self.schedule = list(schedule)
+        self.delay = float(delay)
+        #: Modes actually served, in connection-arrival order.
+        self.served: list[str] = []
+        #: Listening port, populated by :meth:`start`.
+        self.port: int | None = None
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> int:
+        """Bind, start accepting, and return the proxy's port."""
+        self._listener = socket.socket()
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self._listener.settimeout(0.05)
+        accept = threading.Thread(target=self._accept_loop, daemon=True)
+        accept.start()
+        self._threads.append(accept)
+        self.port = self._listener.getsockname()[1]
+        return self.port
+
+    def stop(self) -> None:
+        """Stop accepting and join every connection thread."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5)
+        if self._listener is not None:
+            self._listener.close()
+
+    def __enter__(self) -> "ChaosProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _next_mode(self) -> str:
+        with self._lock:
+            mode = self.schedule.pop(0) if self.schedule else "ok"
+            self.served.append(mode)
+            return mode
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                break
+            mode = self._next_mode()
+            worker = threading.Thread(
+                target=self._serve, args=(client, mode), daemon=True
+            )
+            worker.start()
+            self._threads.append(worker)
+
+    def _upstream(self) -> socket.socket:
+        upstream = socket.create_connection(
+            ("127.0.0.1", self.upstream_port), timeout=30
+        )
+        return upstream
+
+    def _serve(self, client: socket.socket, mode: str) -> None:
+        try:
+            if mode == "ok":
+                self._relay(client)
+            elif mode == "reset":
+                _rst(client)
+            elif mode == "drop":
+                _read_http_message(client)
+                client.close()
+            else:  # blackhole / torn / delay: apply, then mangle the ack
+                request = _read_http_message(client)
+                if not request:
+                    client.close()
+                    return
+                upstream = self._upstream()
+                try:
+                    upstream.sendall(request)
+                    response = _read_http_message(upstream)
+                finally:
+                    upstream.close()
+                if mode == "blackhole" or not response:
+                    _rst(client)
+                elif mode == "torn":
+                    client.sendall(response[: max(1, len(response) // 2)])
+                    _rst(client)
+                else:  # delay
+                    time.sleep(self.delay)
+                    client.sendall(response)
+                    client.close()
+        except OSError:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _relay(self, client: socket.socket) -> None:
+        """Transparent bidirectional pump until either side closes."""
+        upstream = self._upstream()
+
+        def pump(source, sink):
+            try:
+                while True:
+                    chunk = source.recv(_RECV)
+                    if not chunk:
+                        break
+                    sink.sendall(chunk)
+            except OSError:
+                pass
+            finally:
+                for sock in (source, sink):
+                    try:
+                        sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+
+        forward = threading.Thread(
+            target=pump, args=(client, upstream), daemon=True
+        )
+        forward.start()
+        pump(upstream, client)
+        forward.join(timeout=5)
+        client.close()
+        upstream.close()

@@ -13,7 +13,13 @@ The load-bearing claims under test:
   on both thresholds;
 * the HTTP service's perturbation is bit-identical to the offline
   engine for any submission partition, across restarts, and refuses
-  budget breaches with HTTP 403.
+  budget breaches with HTTP 403;
+* keyed requests are exactly-once: duplicates replay the journaled
+  response (across restarts too), key reuse with a different payload is
+  HTTP 409, and the journal is crash-atomic with the ledger ack;
+* admission control sheds over-limit work with structured HTTP 429 +
+  ``Retry-After`` *before* any state change, and the client's
+  :class:`RetryPolicy` backs off deterministically under its deadline.
 """
 
 from __future__ import annotations
@@ -21,6 +27,10 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import random
+import socket
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -30,7 +40,15 @@ from hypothesis import strategies as st
 from repro.core.privacy import PrivacyRequirement, rho2_from_gamma
 from repro.data import census_schema, generate_census
 from repro.data.io import FrdSpool
-from repro.exceptions import BudgetExceededError, PrivacyError, ServiceError
+from repro.exceptions import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    PrivacyError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+)
 from repro.mechanisms import MechanismSpec, PrivacyAccountant, from_spec
 from repro.mechanisms.accountant import PrivacyStatement
 from repro.mechanisms.base import MarginalInversionEstimator
@@ -40,12 +58,14 @@ from repro.service import (
     LedgerStore,
     MicroBatcher,
     PerturbationService,
+    RetryPolicy,
     ServiceClient,
     ServiceConfig,
     ServiceServer,
     derive_collection_seed,
 )
 from repro.service import wire
+from repro.service.ledger import JOURNAL_CAP, TenantLedger
 
 RHO1 = 0.05
 GAMMA = 19.0
@@ -355,16 +375,20 @@ class TestStatementMerge:
 class TestMicroBatcher:
     def test_coalesces_concurrent_submissions_in_order(self):
         batches = []
+        part_lists = []
 
-        def process(batch):
+        def process(batch, parts):
             batches.append(batch.copy())
+            part_lists.append(parts)
             return {"rows": int(batch.shape[0])}
 
         async def main():
             batcher = MicroBatcher(process, max_batch=6, max_latency=60.0)
             a = np.arange(8).reshape(4, 2)
             b = np.arange(8, 14).reshape(3, 2)
-            results = await asyncio.gather(batcher.submit(a), batcher.submit(b))
+            results = await asyncio.gather(
+                batcher.submit(a, context="ctx-a"), batcher.submit(b)
+            )
             return a, b, results
 
         a, b, results = asyncio.run(main())
@@ -377,9 +401,11 @@ class TestMicroBatcher:
         assert r1 is r2
         assert (off1, n1) == (0, 4)
         assert (off2, n2) == (4, 3)
+        # Contexts ride along into the parts, in arrival order.
+        assert part_lists == [[(0, 4, "ctx-a"), (4, 3, None)]]
 
     def test_latency_flush_fires_without_reaching_max_batch(self):
-        def process(batch):
+        def process(batch, parts):
             return {"rows": int(batch.shape[0])}
 
         async def main():
@@ -391,8 +417,27 @@ class TestMicroBatcher:
         assert flushed == 1
         assert (offset, n) == (0, 3)
 
+    def test_pending_rows_tracks_queue_and_resets_on_flush(self):
+        async def main():
+            batcher = MicroBatcher(
+                lambda batch, parts: None, max_batch=100, max_latency=60.0
+            )
+            assert batcher.pending_rows == 0
+            waiter = asyncio.ensure_future(
+                batcher.submit(np.zeros((7, 2), np.int64))
+            )
+            await asyncio.sleep(0)
+            queued = batcher.pending_rows
+            await batcher.drain()
+            await waiter
+            return queued, batcher.pending_rows
+
+        queued, after = asyncio.run(main())
+        assert queued == 7
+        assert after == 0
+
     def test_process_failure_propagates_to_all_waiters(self):
-        def process(batch):
+        def process(batch, parts):
             raise RuntimeError("boom")
 
         async def main():
@@ -408,9 +453,9 @@ class TestMicroBatcher:
 
     def test_rejects_bad_thresholds(self):
         with pytest.raises(ServiceError):
-            MicroBatcher(lambda b: b, max_batch=0)
+            MicroBatcher(lambda b, p: b, max_batch=0)
         with pytest.raises(ServiceError):
-            MicroBatcher(lambda b: b, max_latency=-1.0)
+            MicroBatcher(lambda b, p: b, max_latency=-1.0)
 
 
 # ----------------------------------------------------------------------
@@ -453,6 +498,136 @@ class TestWire:
             wire.decode_itemsets(
                 schema, [{"attributes": [99], "values": [0]}]
             )
+
+
+# ----------------------------------------------------------------------
+# wire framing and idempotency primitives
+# ----------------------------------------------------------------------
+
+
+class TestWireFraming:
+    def test_frame_parse_round_trip_with_retry_after(self):
+        frame = wire.frame_response(
+            429,
+            {"error": {"code": "overloaded"}},
+            close=True,
+            headers={"Retry-After": "0.25"},
+        )
+        status, headers, payload = wire.parse_response(frame)
+        assert status == 429
+        assert headers["retry-after"] == "0.25"
+        assert headers["connection"] == "close"
+        assert payload == {"error": {"code": "overloaded"}}
+        assert b"429 Too Many Requests" in frame
+
+    @given(
+        status=st.sampled_from(sorted(wire.REASON_PHRASES)),
+        payload=st.dictionaries(
+            st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                min_size=1,
+                max_size=8,
+            ),
+            st.one_of(
+                st.integers(-(10**9), 10**9),
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.text(max_size=20),
+                st.booleans(),
+            ),
+            max_size=5,
+        ),
+        close=st.booleans(),
+        retry_after=st.one_of(
+            st.none(), st.floats(min_value=0.01, max_value=10.0)
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_frame_parse_round_trip_property(
+        self, status, payload, close, retry_after
+    ):
+        headers = (
+            None if retry_after is None else {"Retry-After": f"{retry_after:g}"}
+        )
+        frame = wire.frame_response(
+            status, payload, close=close, headers=headers
+        )
+        parsed_status, parsed_headers, parsed_payload = wire.parse_response(
+            frame
+        )
+        assert parsed_status == status
+        assert parsed_payload == payload
+        expected = "close" if close else "keep-alive"
+        assert parsed_headers["connection"] == expected
+        if retry_after is not None:
+            assert parsed_headers["retry-after"] == f"{retry_after:g}"
+
+    def test_parse_rejects_torn_and_malformed_frames(self):
+        frame = wire.frame_response(200, {"a": 1})
+        for torn in (
+            frame[:-1],  # truncated body
+            frame + b"x",  # oversized body vs Content-Length
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2",  # torn header
+            b"garbage\r\n\r\n",  # malformed status line
+            b"HTTP/1.1 abc OK\r\n\r\n",  # non-numeric status
+        ):
+            with pytest.raises(ServiceError):
+                wire.parse_response(torn)
+
+    def test_parse_rejects_non_json_body(self):
+        body = b"<html>502 Bad Gateway</html>"
+        frame = (
+            b"HTTP/1.1 502 Bad Gateway\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+        with pytest.raises(ServiceError, match="not valid JSON"):
+            wire.parse_response(frame)
+
+    def test_idempotency_key_validation(self):
+        assert wire.idempotency_key({}) is None
+        assert wire.idempotency_key({"idempotency_key": "k-1"}) == "k-1"
+        for bad in ("", "with space", "tab\there", "x" * 201, 7, ["k"]):
+            with pytest.raises(ServiceError):
+                wire.idempotency_key({"idempotency_key": bad})
+
+    def test_payload_digest_is_canonical(self):
+        a = wire.payload_digest({"x": 1, "y": [1, 2]})
+        b = wire.payload_digest({"y": [1, 2], "x": 1})
+        c = wire.payload_digest({"x": 1, "y": [2, 1]})
+        assert a == b
+        assert a != c
+
+
+class TestLedgerJournal:
+    def ledger(self):
+        return TenantLedger(
+            tenant="acme", budget=PrivacyRequirement(RHO1, 0.5)
+        )
+
+    def test_record_lookup_and_conflict(self):
+        ledger = self.ledger()
+        assert ledger.journal_lookup("k", "d1") is None
+        ledger.journal_record("k", "d1", {"accepted": 3})
+        assert ledger.journal_lookup("k", "d1") == {"accepted": 3}
+        with pytest.raises(ServiceError) as excinfo:
+            ledger.journal_lookup("k", "d2")
+        assert excinfo.value.code == "idempotency_conflict"
+        assert excinfo.value.status == 409
+
+    def test_journal_round_trips_through_serialisation(self):
+        ledger = self.ledger()
+        ledger.journal_record("k1", "d1", {"accepted": 1})
+        ledger.journal_record("k2", "d2", {"accepted": 2})
+        revived = TenantLedger.from_dict(ledger.to_dict())
+        assert revived.journal == ledger.journal
+        assert list(revived.journal) == ["k1", "k2"]  # order = eviction order
+
+    def test_journal_evicts_oldest_beyond_cap(self):
+        ledger = self.ledger()
+        for i in range(JOURNAL_CAP + 10):
+            ledger.journal_record(f"k{i}", "d", {"i": i})
+        assert len(ledger.journal) == JOURNAL_CAP
+        assert "k0" not in ledger.journal
+        assert f"k{JOURNAL_CAP + 9}" in ledger.journal
 
 
 # ----------------------------------------------------------------------
@@ -661,6 +836,563 @@ class TestServiceEndToEnd:
             np.testing.assert_array_equal(
                 spool.records(0, 400), offline.records
             )
+
+
+# ----------------------------------------------------------------------
+# exactly-once submission
+# ----------------------------------------------------------------------
+
+
+class TestExactlyOnce:
+    def test_keyed_submit_replays_identically(self, schema, data, tmp_path):
+        config = make_config(schema, tmp_path)
+
+        def drive(port):
+            client = ServiceClient(port=port)
+            first = client.submit(
+                "acme", data.records[:30], idempotency_key="sub-1",
+                return_records=True,
+            )
+            again = client.submit(
+                "acme", data.records[:30], idempotency_key="sub-1",
+                return_records=True,
+            )
+            ledger = client.ledger("acme")["ledger"]
+            client.close()
+            return first, again, ledger
+
+        first, again, ledger = run_service(config, drive)
+        assert "replayed" not in first
+        assert again["replayed"] is True
+        assert (again["start"], again["stop"]) == (first["start"], first["stop"])
+        # The replay re-reads the same perturbed rows from the spool.
+        assert again["records"] == first["records"]
+        # Rows were spooled exactly once.
+        assert ledger["collections"]["default"]["records"] == 30
+
+    def test_key_reuse_with_different_payload_is_409(
+        self, schema, data, tmp_path
+    ):
+        config = make_config(schema, tmp_path)
+
+        def drive(port):
+            client = ServiceClient(port=port)
+            client.submit("acme", data.records[:10], idempotency_key="k")
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit("acme", data.records[10:30], idempotency_key="k")
+            client.close()
+            return excinfo.value
+
+        error = run_service(config, drive)
+        assert error.code == "idempotency_conflict"
+        assert error.status == 409
+
+    def test_journal_survives_restart(self, schema, data, tmp_path):
+        config = make_config(schema, tmp_path)
+
+        def first_run(port):
+            client = ServiceClient(port=port)
+            response = client.submit(
+                "acme", data.records[:25], idempotency_key="boot-1"
+            )
+            client.close()
+            return response
+
+        def second_run(port):
+            client = ServiceClient(port=port)
+            response = client.submit(
+                "acme", data.records[:25], idempotency_key="boot-1"
+            )
+            status = client.ledger("acme")["ledger"]["collections"]["default"]
+            client.close()
+            return response, status
+
+        first = run_service(config, first_run)
+        again, status = run_service(make_config(schema, tmp_path), second_run)
+        assert again["replayed"] is True
+        assert (again["start"], again["stop"]) == (first["start"], first["stop"])
+        assert status["records"] == 25
+
+    def test_keyed_open_collection_charges_once(self, schema, tmp_path):
+        config = make_config(schema, tmp_path)
+
+        def drive(port):
+            client = ServiceClient(port=port)
+            first = client.open_collection(
+                "acme", "c1", idempotency_key="open-1"
+            )
+            again = client.open_collection(
+                "acme", "c1", idempotency_key="open-1"
+            )
+            summary = client.ledger("acme")["ledger"]
+            client.close()
+            return first, again, summary
+
+        first, again, summary = run_service(config, drive)
+        assert again["replayed"] is True
+        assert again["seed"] == first["seed"]
+        assert list(summary["collections"]) == ["c1"]
+        # Replay did not double-charge the cumulative statement (a
+        # double charge would square the amplification to 361).
+        assert summary["cumulative"]["amplification"] == pytest.approx(GAMMA)
+
+    def test_keyed_stateless_perturb_replays(self, schema, data, tmp_path):
+        config = make_config(schema, tmp_path)
+
+        def drive(port):
+            client = ServiceClient(port=port)
+            first = client.perturb(
+                data.records[:20], seed=11, idempotency_key="p-1"
+            )
+            again = client.perturb(
+                data.records[:20], seed=11, idempotency_key="p-1"
+            )
+            with pytest.raises(ServiceError) as excinfo:
+                client.perturb(
+                    data.records[:20], seed=12, idempotency_key="p-1"
+                )
+            client.close()
+            return first, again, excinfo.value
+
+        first, again, error = run_service(config, drive)
+        assert again["replayed"] is True
+        assert again["records"] == first["records"]
+        assert error.code == "idempotency_conflict"
+
+    def test_concurrent_duplicate_keys_spool_once(self, schema, data, tmp_path):
+        """Two clients racing the same key (a blackholed response plus an
+        eager retry) must share one batch slot, not spool rows twice."""
+        config = make_config(schema, tmp_path, max_latency=0.2)
+
+        def drive(port):
+            rows = data.records[:15]
+            results = []
+
+            def submit():
+                client = ServiceClient(port=port)
+                results.append(
+                    client.submit("acme", rows, idempotency_key="race")
+                )
+                client.close()
+
+            threads = [threading.Thread(target=submit) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            client = ServiceClient(port=port)
+            status = client.ledger("acme")["ledger"]["collections"]["default"]
+            client.close()
+            return results, status
+
+        results, status = run_service(config, drive)
+        assert len(results) == 4
+        spans = {(r["start"], r["stop"]) for r in results}
+        assert spans == {(0, 15)}
+        assert status["records"] == 15
+
+
+# ----------------------------------------------------------------------
+# admission control and load shedding
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionControl:
+    def test_inflight_limit_sheds_with_retry_after(self, schema, data, tmp_path):
+        config = make_config(schema, tmp_path, max_inflight=0)
+
+        def drive(port):
+            client = ServiceClient(port=port)
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                client.submit("acme", data.records[:5])
+            health = client.health()
+            client.close()
+            return excinfo.value, health
+
+        error, health = run_service(config, drive)
+        assert error.status == 429
+        assert error.code == "overloaded"
+        assert error.details["reason"] == "max_inflight"
+        assert error.retry_after is not None and error.retry_after > 0
+        admission = health["admission"]
+        assert admission["shed_inflight"] == 1
+        assert admission["shed_total"] == 1
+        assert admission["max_inflight"] == 0
+
+    def test_shed_response_carries_retry_after_header(self, schema, tmp_path):
+        config = make_config(schema, tmp_path, max_inflight=0)
+
+        def drive(port):
+            import http.client
+
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            conn.request(
+                "POST",
+                "/v1/tenants",
+                body=json.dumps({"tenant": "acme"}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            header = response.getheader("Retry-After")
+            status = response.status
+            response.read()
+            conn.close()
+            return status, header
+
+        status, header = run_service(config, drive)
+        assert status == 429
+        assert header is not None and float(header) > 0
+
+    def test_gets_pass_even_when_overloaded(self, schema, tmp_path):
+        config = make_config(schema, tmp_path, max_inflight=0)
+
+        def drive(port):
+            client = ServiceClient(port=port)
+            health = client.health()
+            ledger = client.ledger()
+            client.close()
+            return health, ledger
+
+        health, ledger = run_service(config, drive)
+        assert health["status"] == "ok"
+        assert ledger["tenants"] == []
+
+    def test_queued_rows_limit_sheds_submissions(self, schema, data, tmp_path):
+        config = make_config(
+            schema, tmp_path, max_latency=0.5, max_queued_rows=1
+        )
+
+        def drive(port):
+            first_client = ServiceClient(port=port)
+            probe = ServiceClient(port=port)
+            outcome = {}
+
+            def first():
+                outcome["first"] = first_client.submit(
+                    "acme", data.records[:5]
+                )
+
+            thread = threading.Thread(target=first)
+            thread.start()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if probe.health()["admission"]["queued_rows"] >= 1:
+                    break
+                time.sleep(0.005)
+            else:
+                raise AssertionError("first submission never queued")
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                probe.submit("acme", data.records[5:10])
+            thread.join()
+            admission = probe.health()["admission"]
+            first_client.close()
+            probe.close()
+            return outcome["first"], excinfo.value, admission
+
+        first, error, admission = run_service(config, drive)
+        assert first["accepted"] == 5
+        assert error.details["reason"] == "max_queued_rows"
+        assert admission["shed_queued"] >= 1
+        # The shed happened before any state change: only the admitted
+        # submission's rows exist.
+        assert first["spooled"] == 5
+
+
+# ----------------------------------------------------------------------
+# client retry policy and typed transport errors
+# ----------------------------------------------------------------------
+
+
+def _silent_listener():
+    """A bound socket that accepts connections but never responds."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    accepted = []
+    stop = threading.Event()
+
+    def accept_loop():
+        listener.settimeout(0.05)
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                break
+            accepted.append(conn)
+
+    thread = threading.Thread(target=accept_loop, daemon=True)
+    thread.start()
+
+    def close():
+        stop.set()
+        thread.join()
+        for conn in accepted:
+            conn.close()
+        listener.close()
+
+    return listener.getsockname()[1], accepted, close
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.5, seed=42
+        )
+        delays_a = [policy.delay(k, random.Random(42)) for k in range(1, 6)]
+        delays_b = [policy.delay(k, random.Random(42)) for k in range(1, 6)]
+        assert delays_a == delays_b  # same seed, same schedule
+        rng = random.Random(42)
+        for attempt, delay in enumerate(delays_a, start=1):
+            nominal = min(0.5, 0.1 * 2.0 ** (attempt - 1))
+            assert nominal / 2 <= delay <= nominal
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ServiceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ServiceError):
+            RetryPolicy(jitter=1.5)
+
+    def test_connection_refused_maps_to_unavailable(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        listener.close()  # nothing listens here now
+        client = ServiceClient(port=port, timeout=1.0)
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            client.health()
+        assert excinfo.value.code == "unavailable"
+        assert excinfo.value.status == 503
+
+    def test_socket_timeout_maps_to_timeout_error(self):
+        port, _accepted, close = _silent_listener()
+        try:
+            client = ServiceClient(port=port, timeout=0.1)
+            with pytest.raises(ServiceTimeoutError) as excinfo:
+                client.health()
+            assert excinfo.value.code == "timeout"
+            assert excinfo.value.status == 504
+        finally:
+            close()
+
+    def test_unkeyed_write_is_never_retried(self, schema, data):
+        port, accepted, close = _silent_listener()
+        try:
+            client = ServiceClient(port=port, timeout=0.15)
+            with pytest.raises(ServiceTimeoutError):
+                client.submit("acme", data.records[:3])
+            writes = len(accepted)
+            # GETs are idempotent: the reconnect fallback tries twice.
+            with pytest.raises(ServiceTimeoutError):
+                client.health()
+            reads = len(accepted) - writes
+        finally:
+            close()
+        assert writes == 1
+        assert reads == 2
+
+    def test_deadline_exceeded_wraps_last_error(self):
+        port, _accepted, close = _silent_listener()
+        try:
+            client = ServiceClient(
+                port=port,
+                timeout=5.0,
+                retry=RetryPolicy(
+                    max_attempts=50,
+                    base_delay=0.0,
+                    jitter=0.0,
+                    deadline=0.3,
+                    attempt_timeout=0.05,
+                ),
+            )
+            start = time.monotonic()
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                client.health()
+            elapsed = time.monotonic() - start
+        finally:
+            close()
+        assert excinfo.value.attempts >= 2
+        assert elapsed < 2.0  # deadline cut the 50-attempt budget short
+
+    def test_policy_retries_sheds_then_raises_overloaded(
+        self, schema, data, tmp_path
+    ):
+        config = make_config(schema, tmp_path, max_inflight=0)
+
+        def drive(port):
+            client = ServiceClient(
+                port=port,
+                retry=RetryPolicy(
+                    max_attempts=3, base_delay=0.001, jitter=0.0, seed=3
+                ),
+            )
+            with pytest.raises(ServiceOverloadedError):
+                client.submit("acme", data.records[:5])
+            admission = client.health()["admission"]
+            client.close()
+            return admission
+
+        admission = run_service(config, drive)
+        # Every attempt of the 3-attempt budget was shed and counted.
+        assert admission["shed_inflight"] == 3
+
+    def test_policy_recovers_once_load_clears(self, schema, data, tmp_path):
+        """A shed submission retried under the policy lands exactly once
+        when capacity returns (429 -> backoff -> 200)."""
+        config = make_config(
+            schema, tmp_path, max_latency=0.15, max_queued_rows=1
+        )
+
+        def drive(port):
+            blocker = ServiceClient(port=port)
+            retrier = ServiceClient(
+                port=port,
+                retry=RetryPolicy(max_attempts=8, base_delay=0.01, seed=9),
+            )
+            outcome = {}
+
+            def first():
+                outcome["first"] = blocker.submit("acme", data.records[:5])
+
+            thread = threading.Thread(target=first)
+            thread.start()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if retrier.health()["admission"]["queued_rows"] >= 1:
+                    break
+                time.sleep(0.002)
+            response = retrier.submit("acme", data.records[5:12])
+            thread.join()
+            status = retrier.ledger("acme")["ledger"]["collections"]["default"]
+            blocker.close()
+            retrier.close()
+            return outcome["first"], response, status
+
+        first, response, status = run_service(config, drive)
+        assert first["accepted"] == 5
+        assert response["accepted"] == 7
+        assert status["records"] == 12
+
+    def test_auto_keys_only_under_active_policy(self):
+        assert ServiceClient()._auto_key() is None
+        keyed = ServiceClient(retry=RetryPolicy())
+        first, second = keyed._auto_key(), keyed._auto_key()
+        assert first and second and first != second
+
+    def test_non_json_error_body_is_bad_gateway(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def serve_once():
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            conn.sendall(
+                b"HTTP/1.1 500 Internal Server Error\r\n"
+                b"Content-Length: 9\r\n"
+                b"Connection: close\r\n\r\nnot json!"
+            )
+            conn.close()
+
+        thread = threading.Thread(target=serve_once, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(port=port, timeout=2.0)
+            with pytest.raises(ServiceError) as excinfo:
+                client.health()
+            assert excinfo.value.code == "bad_gateway"
+            assert excinfo.value.status == 502
+        finally:
+            thread.join()
+            listener.close()
+
+
+# ----------------------------------------------------------------------
+# shutdown drain and protocol-level refusals
+# ----------------------------------------------------------------------
+
+
+class TestServerShutdown:
+    def test_stop_closes_idle_keepalive_immediately(self, schema, tmp_path):
+        """An idle keep-alive connection must not hold shutdown for the
+        drain deadline."""
+        config = make_config(schema, tmp_path, drain_deadline=30.0)
+
+        async def main():
+            server = ServiceServer(PerturbationService(config), port=0)
+            port = await server.start()
+            loop = asyncio.get_running_loop()
+
+            def connect_idle():
+                client = ServiceClient(port=port)
+                client.health()  # leaves a live keep-alive socket behind
+                return client
+
+            client = await loop.run_in_executor(None, connect_idle)
+            start = time.monotonic()
+            await server.stop()
+            elapsed = time.monotonic() - start
+            client.close()
+            return elapsed
+
+        assert asyncio.run(main()) < 5.0
+
+    def test_stop_drains_inflight_submission(self, schema, data, tmp_path):
+        """A submission waiting on a latency flush when stop() begins
+        still gets its rows spooled and its response written."""
+        config = make_config(
+            schema, tmp_path, max_latency=0.3, drain_deadline=10.0
+        )
+
+        async def main():
+            server = ServiceServer(PerturbationService(config), port=0)
+            port = await server.start()
+            loop = asyncio.get_running_loop()
+
+            def submit():
+                client = ServiceClient(port=port)
+                try:
+                    return client.submit("acme", data.records[:8])
+                finally:
+                    client.close()
+
+            pending = loop.run_in_executor(None, submit)
+            while server.service.queued_rows() == 0:
+                await asyncio.sleep(0.005)
+            await server.stop()
+            return await pending
+
+        response = asyncio.run(main())
+        assert response["accepted"] == 8
+        assert response["spooled"] == 8
+
+    def test_oversized_content_length_is_structured_413(self, schema, tmp_path):
+        from repro.service.server import MAX_BODY_BYTES
+
+        config = make_config(schema, tmp_path)
+
+        def drive(port):
+            import http.client
+
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            conn.putrequest("POST", "/v1/submit")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            conn.endheaders()
+            response = conn.getresponse()
+            status = response.status
+            body = json.loads(response.read())
+            header = response.getheader("Connection")
+            conn.close()
+            return status, body, header
+
+        status, body, connection = run_service(config, drive)
+        assert status == 413
+        assert body["error"]["code"] == "body_too_large"
+        # Framing downstream of a protocol error is suspect: close.
+        assert connection == "close"
 
 
 # ----------------------------------------------------------------------
