@@ -2,10 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: test lint docstrings docs bench clean
+.PHONY: test native lint docstrings docs bench clean
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Build the optional native kernel extension next to its wrapper
+# (src/repro/_native_kernels*.so); `pip install -e .` does the same.
+# Check what loaded with `frapp kernels`; REPRO_FORCE_PYTHON=1 ignores it.
+native:
+	$(PYTHON) setup.py build_ext --inplace
 
 lint:
 	ruff check .
@@ -22,7 +28,7 @@ docs:
 	$(PYTHON) -W error::UserWarning -m pdoc repro -o docs/api --docformat numpy
 
 bench:
-	REPRO_SCALE=0.1 $(PYTHON) -m pytest benchmarks/bench_miners.py benchmarks/bench_pipeline.py benchmarks/bench_orchestrator.py -q
+	REPRO_SCALE=0.1 $(PYTHON) -m pytest benchmarks/bench_miners.py benchmarks/bench_kernels.py benchmarks/bench_pipeline.py benchmarks/bench_orchestrator.py -q
 
 clean:
 	rm -rf docs/api .pytest_cache .hypothesis

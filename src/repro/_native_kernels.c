@@ -1,0 +1,953 @@
+/* Native SIMD counting & sampling kernels for the FRAPP reproduction.
+ *
+ * Two families of primitives, both exact and bit-identical to the
+ * NumPy reference paths in ``repro.mining.kernels`` and
+ * ``repro.core.engine``:
+ *
+ * counting -- hardware-popcount AND+popcount over packed ``uint64``
+ *   transaction-bitmap words.  Grouped reductions are fused (no
+ *   intermediate AND materialisation unless the caller asks for the
+ *   accumulator rows back), the GIL is released around every loop, and
+ *   large inputs are thread-parallel: work is chunked over groups when
+ *   there are many, over *words* when a few long reductions dominate.
+ *   Reductions stay deterministic either way -- per-chunk partial
+ *   popcounts are 64-bit integers summed in fixed chunk order, and
+ *   integer addition is associative, so the totals are independent of
+ *   the thread count.
+ *
+ * sampling -- the fused sample-and-encode path of the gamma-diagonal
+ *   engines: realise ``V = U`` w.p. ``diag`` else a uniform cyclic
+ *   shift, either from a pre-drawn uniform block (``realise`` /
+ *   ``realise_decode``) or drawing doubles straight from a NumPy
+ *   ``BitGenerator`` (``draw_realise`` / ``draw_realise_decode``),
+ *   optionally decoding joint indices into compact-dtype record cells
+ *   written directly into the output buffer.  The draw order and all
+ *   float operations mirror ``rng.random((m, w))`` +
+ *   ``_realise_diagonal_or_other`` exactly, so outputs (and the
+ *   generator state afterwards) are bit-identical to the pure path.
+ *
+ * The module deliberately avoids the NumPy C API: every array crosses
+ * the boundary as a plain contiguous buffer (validated and typed on
+ * the Python side in ``repro.mining.kernels.native``), which keeps the
+ * extension free of ABI coupling to the NumPy build it was compiled
+ * against.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <stdint.h>
+#include <string.h>
+
+#if !defined(_WIN32)
+#include <pthread.h>
+#include <unistd.h>
+#define FRAPP_HAVE_THREADS 1
+#else
+#define FRAPP_HAVE_THREADS 0
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define frapp_popcount64(x) ((int64_t)__builtin_popcountll(x))
+#else
+static inline int64_t frapp_popcount64(uint64_t x) {
+    /* SWAR fallback for compilers without a popcount builtin. */
+    x = x - ((x >> 1) & 0x5555555555555555ULL);
+    x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+    x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0FULL;
+    return (int64_t)((x * 0x0101010101010101ULL) >> 56);
+}
+#endif
+
+/* Mirror of numpy/random/bitgen.h's bitgen_t (stable public layout);
+ * the Python wrapper passes the struct's address from
+ * ``Generator.bit_generator.ctypes.bit_generator``. */
+typedef struct frapp_bitgen {
+    void *state;
+    uint64_t (*next_uint64)(void *st);
+    uint32_t (*next_uint32)(void *st);
+    double (*next_double)(void *st);
+    uint64_t (*next_raw)(void *st);
+} frapp_bitgen_t;
+
+/* ------------------------------------------------------------------ */
+/* threading scaffold                                                  */
+/* ------------------------------------------------------------------ */
+
+/* Work below this many words runs serially: thread spawn costs more
+ * than the AND+popcount it would split. */
+#define FRAPP_PARALLEL_MIN_WORDS (1 << 15)
+#define FRAPP_MAX_THREADS 16
+
+static int frapp_max_threads = -1;
+
+static int
+frapp_thread_budget(void)
+{
+    if (frapp_max_threads < 0) {
+        long n = 1;
+        const char *env = getenv("REPRO_NATIVE_THREADS");
+        if (env != NULL && env[0] != '\0') {
+            n = atol(env);
+        } else {
+#if FRAPP_HAVE_THREADS
+            n = sysconf(_SC_NPROCESSORS_ONLN);
+#endif
+        }
+        if (n < 1) n = 1;
+        if (n > FRAPP_MAX_THREADS) n = FRAPP_MAX_THREADS;
+        frapp_max_threads = (int)n;
+    }
+    return frapp_max_threads;
+}
+
+typedef void (*frapp_range_fn)(void *ctx, int64_t start, int64_t stop, int slot);
+
+typedef struct frapp_job {
+    frapp_range_fn fn;
+    void *ctx;
+    int64_t start, stop;
+    int slot;
+} frapp_job_t;
+
+#if FRAPP_HAVE_THREADS
+static void *
+frapp_job_trampoline(void *arg)
+{
+    frapp_job_t *job = (frapp_job_t *)arg;
+    job->fn(job->ctx, job->start, job->stop, job->slot);
+    return NULL;
+}
+#endif
+
+/* Split [0, n_items) into up to ``threads`` contiguous chunks and run
+ * ``fn`` on each (chunk index = deterministic reduction slot).  Falls
+ * back to one serial call when threading is unavailable, the budget is
+ * one, or spawning fails.  Returns the number of chunks used. */
+static int
+frapp_run_chunks(frapp_range_fn fn, void *ctx, int64_t n_items, int threads)
+{
+    if (threads > (int)n_items) threads = (int)(n_items > 0 ? n_items : 1);
+    if (threads <= 1 || !FRAPP_HAVE_THREADS) {
+        fn(ctx, 0, n_items, 0);
+        return 1;
+    }
+#if FRAPP_HAVE_THREADS
+    {
+        pthread_t handles[FRAPP_MAX_THREADS];
+        frapp_job_t jobs[FRAPP_MAX_THREADS];
+        int64_t chunk = (n_items + threads - 1) / threads;
+        int spawned = 0, t;
+        for (t = 0; t < threads; t++) {
+            int64_t start = (int64_t)t * chunk;
+            int64_t stop = start + chunk < n_items ? start + chunk : n_items;
+            if (start >= stop) break;
+            jobs[t].fn = fn;
+            jobs[t].ctx = ctx;
+            jobs[t].start = start;
+            jobs[t].stop = stop;
+            jobs[t].slot = t;
+            if (t == threads - 1 || stop == n_items) {
+                /* Run the final chunk on the calling thread. */
+                frapp_job_trampoline(&jobs[t]);
+                t++;
+                break;
+            }
+            if (pthread_create(&handles[t], NULL, frapp_job_trampoline,
+                               &jobs[t]) != 0) {
+                /* Could not spawn: absorb the rest serially. */
+                jobs[t].stop = n_items;
+                frapp_job_trampoline(&jobs[t]);
+                t++;
+                break;
+            }
+            spawned++;
+        }
+        {
+            int s;
+            for (s = 0; s < spawned; s++) {
+                pthread_join(handles[s], NULL);
+            }
+        }
+        return t;
+    }
+#else
+    fn(ctx, 0, n_items, 0);
+    return 1;
+#endif
+}
+
+/* ------------------------------------------------------------------ */
+/* buffer helpers                                                      */
+/* ------------------------------------------------------------------ */
+
+/* Fetch a contiguous buffer and check its byte length; ``writable``
+ * selects PyBUF_WRITABLE.  Returns 0 on success with *view filled. */
+static int
+frapp_get_buffer(PyObject *obj, Py_buffer *view, int writable,
+                 int64_t expected_bytes, const char *name)
+{
+    int flags = writable ? (PyBUF_C_CONTIGUOUS | PyBUF_WRITABLE)
+                         : PyBUF_C_CONTIGUOUS;
+    if (PyObject_GetBuffer(obj, view, flags) != 0) {
+        return -1;
+    }
+    if ((int64_t)view->len != expected_bytes) {
+        PyErr_Format(PyExc_ValueError,
+                     "%s: expected %lld bytes, got %lld", name,
+                     (long long)expected_bytes, (long long)view->len);
+        PyBuffer_Release(view);
+        return -1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* popcount kernels                                                    */
+/* ------------------------------------------------------------------ */
+
+typedef struct popcount_all_ctx {
+    const uint64_t *words;
+    int64_t partial[FRAPP_MAX_THREADS];
+} popcount_all_ctx_t;
+
+static void
+popcount_all_worker(void *raw, int64_t start, int64_t stop, int slot)
+{
+    popcount_all_ctx_t *ctx = (popcount_all_ctx_t *)raw;
+    const uint64_t *words = ctx->words;
+    int64_t total = 0, i;
+    for (i = start; i < stop; i++) {
+        total += frapp_popcount64(words[i]);
+    }
+    ctx->partial[slot] = total;
+}
+
+/* popcount_all(words_buf, n_words) -> int */
+static PyObject *
+py_popcount_all(PyObject *self, PyObject *args)
+{
+    PyObject *words_obj;
+    Py_ssize_t n_words;
+    Py_buffer words;
+    int64_t total = 0;
+
+    if (!PyArg_ParseTuple(args, "On", &words_obj, &n_words)) return NULL;
+    if (frapp_get_buffer(words_obj, &words, 0, (int64_t)n_words * 8, "words"))
+        return NULL;
+    {
+        popcount_all_ctx_t ctx;
+        int threads = 1, chunks, t;
+        if (n_words >= FRAPP_PARALLEL_MIN_WORDS) threads = frapp_thread_budget();
+        ctx.words = (const uint64_t *)words.buf;
+        memset(ctx.partial, 0, sizeof(ctx.partial));
+        Py_BEGIN_ALLOW_THREADS
+        chunks = frapp_run_chunks(popcount_all_worker, &ctx, n_words, threads);
+        Py_END_ALLOW_THREADS
+        for (t = 0; t < chunks; t++) total += ctx.partial[t];
+    }
+    PyBuffer_Release(&words);
+    return PyLong_FromLongLong((long long)total);
+}
+
+typedef struct popcount_rows_ctx {
+    const uint64_t *words;
+    int64_t n_cols;
+    int64_t *out;
+} popcount_rows_ctx_t;
+
+static void
+popcount_rows_worker(void *raw, int64_t start, int64_t stop, int slot)
+{
+    popcount_rows_ctx_t *ctx = (popcount_rows_ctx_t *)raw;
+    int64_t r, w, n_cols = ctx->n_cols;
+    (void)slot;
+    for (r = start; r < stop; r++) {
+        const uint64_t *row = ctx->words + r * n_cols;
+        int64_t total = 0;
+        for (w = 0; w < n_cols; w++) total += frapp_popcount64(row[w]);
+        ctx->out[r] = total;
+    }
+}
+
+/* popcount_rows(words_buf, n_rows, n_cols, out_buf) -> None */
+static PyObject *
+py_popcount_rows(PyObject *self, PyObject *args)
+{
+    PyObject *words_obj, *out_obj;
+    Py_ssize_t n_rows, n_cols;
+    Py_buffer words, out;
+
+    if (!PyArg_ParseTuple(args, "OnnO", &words_obj, &n_rows, &n_cols, &out_obj))
+        return NULL;
+    if (frapp_get_buffer(words_obj, &words, 0,
+                         (int64_t)n_rows * n_cols * 8, "words"))
+        return NULL;
+    if (frapp_get_buffer(out_obj, &out, 1, (int64_t)n_rows * 8, "out")) {
+        PyBuffer_Release(&words);
+        return NULL;
+    }
+    {
+        popcount_rows_ctx_t ctx;
+        int threads = 1;
+        if ((int64_t)n_rows * n_cols >= FRAPP_PARALLEL_MIN_WORDS)
+            threads = frapp_thread_budget();
+        ctx.words = (const uint64_t *)words.buf;
+        ctx.n_cols = n_cols;
+        ctx.out = (int64_t *)out.buf;
+        Py_BEGIN_ALLOW_THREADS
+        frapp_run_chunks(popcount_rows_worker, &ctx, n_rows, threads);
+        Py_END_ALLOW_THREADS
+    }
+    PyBuffer_Release(&words);
+    PyBuffer_Release(&out);
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* grouped AND + popcount                                              */
+/* ------------------------------------------------------------------ */
+
+typedef struct and_groups_ctx {
+    const uint64_t *words;
+    int64_t n_cols;
+    const int64_t *groups; /* (n_groups, group_len) row indices */
+    int64_t n_groups, group_len;
+    uint64_t *out_words;     /* optional accumulator store, (?, n_cols) */
+    const int64_t *out_idx;  /* optional out row per group (else = g) */
+    int64_t *counts;
+    /* word-split mode only: per-(slot, group) partial counts */
+    int64_t *partials;
+} and_groups_ctx_t;
+
+static void
+and_groups_by_group_worker(void *raw, int64_t start, int64_t stop, int slot)
+{
+    and_groups_ctx_t *ctx = (and_groups_ctx_t *)raw;
+    int64_t n_cols = ctx->n_cols, group_len = ctx->group_len;
+    int64_t g, w, k;
+    (void)slot;
+    for (g = start; g < stop; g++) {
+        const int64_t *rows = ctx->groups + g * group_len;
+        const uint64_t *first = ctx->words + rows[0] * n_cols;
+        uint64_t *store = NULL;
+        int64_t total = 0;
+        if (ctx->out_words != NULL) {
+            int64_t out_row = ctx->out_idx != NULL ? ctx->out_idx[g] : g;
+            store = ctx->out_words + out_row * n_cols;
+        }
+        for (w = 0; w < n_cols; w++) {
+            uint64_t acc = first[w];
+            for (k = 1; k < group_len; k++) {
+                acc &= ctx->words[rows[k] * n_cols + w];
+            }
+            if (store != NULL) store[w] = acc;
+            total += frapp_popcount64(acc);
+        }
+        ctx->counts[g] = total;
+    }
+}
+
+static void
+and_groups_by_word_worker(void *raw, int64_t start, int64_t stop, int slot)
+{
+    /* Chunked over words: every group's [start, stop) word slice is
+     * reduced by this thread; partial popcounts land in the slot's row
+     * of ``partials`` for the deterministic in-order sum. */
+    and_groups_ctx_t *ctx = (and_groups_ctx_t *)raw;
+    int64_t n_cols = ctx->n_cols, group_len = ctx->group_len;
+    int64_t g, w, k;
+    for (g = 0; g < ctx->n_groups; g++) {
+        const int64_t *rows = ctx->groups + g * group_len;
+        const uint64_t *first = ctx->words + rows[0] * n_cols;
+        uint64_t *store = NULL;
+        int64_t total = 0;
+        if (ctx->out_words != NULL) {
+            int64_t out_row = ctx->out_idx != NULL ? ctx->out_idx[g] : g;
+            store = ctx->out_words + out_row * n_cols;
+        }
+        for (w = start; w < stop; w++) {
+            uint64_t acc = first[w];
+            for (k = 1; k < group_len; k++) {
+                acc &= ctx->words[rows[k] * n_cols + w];
+            }
+            if (store != NULL) store[w] = acc;
+            total += frapp_popcount64(acc);
+        }
+        ctx->partials[(int64_t)slot * ctx->n_groups + g] = total;
+    }
+}
+
+/* and_groups(words_buf, n_rows, n_cols, groups_buf, n_groups, group_len,
+ *            out_words_buf_or_None, out_idx_buf_or_None, out_rows,
+ *            counts_buf) -> None
+ *
+ * Row indices are validated here (not just in the wrapper) so a buggy
+ * caller cannot read out of bounds.
+ */
+static PyObject *
+py_and_groups(PyObject *self, PyObject *args)
+{
+    PyObject *words_obj, *groups_obj, *out_words_obj, *out_idx_obj, *counts_obj;
+    Py_ssize_t n_rows, n_cols, n_groups, group_len, out_rows;
+    Py_buffer words, groups, out_words, out_idx, counts;
+    int have_out = 0, have_idx = 0;
+    const int64_t *group_data;
+    int64_t i;
+
+    if (!PyArg_ParseTuple(args, "OnnOnnOOnO", &words_obj, &n_rows, &n_cols,
+                          &groups_obj, &n_groups, &group_len, &out_words_obj,
+                          &out_idx_obj, &out_rows, &counts_obj))
+        return NULL;
+    if (group_len < 1) {
+        PyErr_SetString(PyExc_ValueError, "group_len must be >= 1");
+        return NULL;
+    }
+    if (frapp_get_buffer(words_obj, &words, 0, (int64_t)n_rows * n_cols * 8,
+                         "words"))
+        return NULL;
+    if (frapp_get_buffer(groups_obj, &groups, 0,
+                         (int64_t)n_groups * group_len * 8, "groups")) {
+        PyBuffer_Release(&words);
+        return NULL;
+    }
+    if (frapp_get_buffer(counts_obj, &counts, 1, (int64_t)n_groups * 8,
+                         "counts")) {
+        PyBuffer_Release(&words);
+        PyBuffer_Release(&groups);
+        return NULL;
+    }
+    if (out_words_obj != Py_None) {
+        if (frapp_get_buffer(out_words_obj, &out_words, 1,
+                             (int64_t)out_rows * n_cols * 8, "out_words")) {
+            PyBuffer_Release(&words);
+            PyBuffer_Release(&groups);
+            PyBuffer_Release(&counts);
+            return NULL;
+        }
+        have_out = 1;
+    }
+    if (out_idx_obj != Py_None) {
+        if (frapp_get_buffer(out_idx_obj, &out_idx, 0, (int64_t)n_groups * 8,
+                             "out_idx")) {
+            PyBuffer_Release(&words);
+            PyBuffer_Release(&groups);
+            PyBuffer_Release(&counts);
+            if (have_out) PyBuffer_Release(&out_words);
+            return NULL;
+        }
+        have_idx = 1;
+    }
+
+    group_data = (const int64_t *)groups.buf;
+    for (i = 0; i < (int64_t)n_groups * group_len; i++) {
+        if (group_data[i] < 0 || group_data[i] >= (int64_t)n_rows) {
+            PyErr_Format(PyExc_IndexError, "group row %lld out of range",
+                         (long long)group_data[i]);
+            goto fail;
+        }
+    }
+    if (have_idx) {
+        const int64_t *idx = (const int64_t *)out_idx.buf;
+        for (i = 0; i < (int64_t)n_groups; i++) {
+            if (idx[i] < 0 || idx[i] >= (int64_t)out_rows) {
+                PyErr_Format(PyExc_IndexError, "out row %lld out of range",
+                             (long long)idx[i]);
+                goto fail;
+            }
+        }
+    } else if (have_out && n_groups > out_rows) {
+        PyErr_SetString(PyExc_ValueError, "out_words has fewer rows than groups");
+        goto fail;
+    }
+
+    {
+        and_groups_ctx_t ctx;
+        int64_t total_words = (int64_t)n_groups * group_len * n_cols;
+        int threads = 1;
+        ctx.words = (const uint64_t *)words.buf;
+        ctx.n_cols = n_cols;
+        ctx.groups = group_data;
+        ctx.n_groups = n_groups;
+        ctx.group_len = group_len;
+        ctx.out_words = have_out ? (uint64_t *)out_words.buf : NULL;
+        ctx.out_idx = have_idx ? (const int64_t *)out_idx.buf : NULL;
+        ctx.counts = (int64_t *)counts.buf;
+        ctx.partials = NULL;
+        if (total_words >= FRAPP_PARALLEL_MIN_WORDS)
+            threads = frapp_thread_budget();
+        if (threads > 1 && n_groups < 2 * threads && n_cols >= 2 * threads) {
+            /* Few long groups: chunk over words, deterministic in-order
+             * partial sum per group. */
+            int chunks, t;
+            int64_t g;
+            ctx.partials = (int64_t *)PyMem_Malloc(
+                (size_t)threads * n_groups * sizeof(int64_t));
+            if (ctx.partials == NULL) {
+                PyErr_NoMemory();
+                goto fail;
+            }
+            memset(ctx.partials, 0,
+                   (size_t)threads * n_groups * sizeof(int64_t));
+            Py_BEGIN_ALLOW_THREADS
+            chunks = frapp_run_chunks(and_groups_by_word_worker, &ctx, n_cols,
+                                      threads);
+            Py_END_ALLOW_THREADS
+            for (g = 0; g < (int64_t)n_groups; g++) {
+                int64_t total = 0;
+                for (t = 0; t < chunks; t++)
+                    total += ctx.partials[(int64_t)t * n_groups + g];
+                ctx.counts[g] = total;
+            }
+            PyMem_Free(ctx.partials);
+        } else {
+            Py_BEGIN_ALLOW_THREADS
+            frapp_run_chunks(and_groups_by_group_worker, &ctx, n_groups,
+                             threads);
+            Py_END_ALLOW_THREADS
+        }
+    }
+
+    PyBuffer_Release(&words);
+    PyBuffer_Release(&groups);
+    PyBuffer_Release(&counts);
+    if (have_out) PyBuffer_Release(&out_words);
+    if (have_idx) PyBuffer_Release(&out_idx);
+    Py_RETURN_NONE;
+
+fail:
+    PyBuffer_Release(&words);
+    PyBuffer_Release(&groups);
+    PyBuffer_Release(&counts);
+    if (have_out) PyBuffer_Release(&out_words);
+    if (have_idx) PyBuffer_Release(&out_idx);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* paired AND + popcount (the Apriori level-cache path)                */
+/* ------------------------------------------------------------------ */
+
+typedef struct and_pairs_ctx {
+    const uint64_t *a_words, *b_words;
+    int64_t n_cols;
+    const int64_t *a_idx, *b_idx, *out_idx;
+    uint64_t *out_words;
+    int64_t *counts;
+} and_pairs_ctx_t;
+
+static void
+and_pairs_worker(void *raw, int64_t start, int64_t stop, int slot)
+{
+    and_pairs_ctx_t *ctx = (and_pairs_ctx_t *)raw;
+    int64_t n_cols = ctx->n_cols, p, w;
+    (void)slot;
+    for (p = start; p < stop; p++) {
+        const uint64_t *a = ctx->a_words + ctx->a_idx[p] * n_cols;
+        const uint64_t *b = ctx->b_words + ctx->b_idx[p] * n_cols;
+        uint64_t *store =
+            ctx->out_words != NULL ? ctx->out_words + ctx->out_idx[p] * n_cols
+                                   : NULL;
+        int64_t total = 0;
+        for (w = 0; w < n_cols; w++) {
+            uint64_t acc = a[w] & b[w];
+            if (store != NULL) store[w] = acc;
+            total += frapp_popcount64(acc);
+        }
+        ctx->counts[p] = total;
+    }
+}
+
+/* and_pairs(a_buf, a_rows, n_cols, a_idx, b_buf, b_rows, b_idx, n_pairs,
+ *           out_words_or_None, out_idx_or_None, out_rows, counts) -> None */
+static PyObject *
+py_and_pairs(PyObject *self, PyObject *args)
+{
+    PyObject *a_obj, *a_idx_obj, *b_obj, *b_idx_obj;
+    PyObject *out_words_obj, *out_idx_obj, *counts_obj;
+    Py_ssize_t a_rows, n_cols, b_rows, n_pairs, out_rows;
+    Py_buffer a, a_idx, b, b_idx, out_words, out_idx, counts;
+    int have_out = 0;
+    int64_t p;
+
+    if (!PyArg_ParseTuple(args, "OnnOOnOnOOnO", &a_obj, &a_rows, &n_cols,
+                          &a_idx_obj, &b_obj, &b_rows, &b_idx_obj, &n_pairs,
+                          &out_words_obj, &out_idx_obj, &out_rows, &counts_obj))
+        return NULL;
+    if (frapp_get_buffer(a_obj, &a, 0, (int64_t)a_rows * n_cols * 8, "a"))
+        return NULL;
+    if (frapp_get_buffer(a_idx_obj, &a_idx, 0, (int64_t)n_pairs * 8, "a_idx")) {
+        PyBuffer_Release(&a);
+        return NULL;
+    }
+    if (frapp_get_buffer(b_obj, &b, 0, (int64_t)b_rows * n_cols * 8, "b")) {
+        PyBuffer_Release(&a);
+        PyBuffer_Release(&a_idx);
+        return NULL;
+    }
+    if (frapp_get_buffer(b_idx_obj, &b_idx, 0, (int64_t)n_pairs * 8, "b_idx")) {
+        PyBuffer_Release(&a);
+        PyBuffer_Release(&a_idx);
+        PyBuffer_Release(&b);
+        return NULL;
+    }
+    if (frapp_get_buffer(counts_obj, &counts, 1, (int64_t)n_pairs * 8,
+                         "counts")) {
+        PyBuffer_Release(&a);
+        PyBuffer_Release(&a_idx);
+        PyBuffer_Release(&b);
+        PyBuffer_Release(&b_idx);
+        return NULL;
+    }
+    if (out_words_obj != Py_None) {
+        if (out_idx_obj == Py_None) {
+            PyErr_SetString(PyExc_ValueError, "out_words requires out_idx");
+            goto fail_base;
+        }
+        if (frapp_get_buffer(out_words_obj, &out_words, 1,
+                             (int64_t)out_rows * n_cols * 8, "out_words"))
+            goto fail_base;
+        if (frapp_get_buffer(out_idx_obj, &out_idx, 0, (int64_t)n_pairs * 8,
+                             "out_idx")) {
+            PyBuffer_Release(&out_words);
+            goto fail_base;
+        }
+        have_out = 1;
+    }
+
+    for (p = 0; p < (int64_t)n_pairs; p++) {
+        int64_t ai = ((const int64_t *)a_idx.buf)[p];
+        int64_t bi = ((const int64_t *)b_idx.buf)[p];
+        if (ai < 0 || ai >= (int64_t)a_rows || bi < 0 || bi >= (int64_t)b_rows) {
+            PyErr_SetString(PyExc_IndexError, "pair row index out of range");
+            goto fail;
+        }
+        if (have_out) {
+            int64_t oi = ((const int64_t *)out_idx.buf)[p];
+            if (oi < 0 || oi >= (int64_t)out_rows) {
+                PyErr_SetString(PyExc_IndexError, "out row index out of range");
+                goto fail;
+            }
+        }
+    }
+
+    {
+        and_pairs_ctx_t ctx;
+        int threads = 1;
+        ctx.a_words = (const uint64_t *)a.buf;
+        ctx.b_words = (const uint64_t *)b.buf;
+        ctx.n_cols = n_cols;
+        ctx.a_idx = (const int64_t *)a_idx.buf;
+        ctx.b_idx = (const int64_t *)b_idx.buf;
+        ctx.out_words = have_out ? (uint64_t *)out_words.buf : NULL;
+        ctx.out_idx = have_out ? (const int64_t *)out_idx.buf : NULL;
+        ctx.counts = (int64_t *)counts.buf;
+        if ((int64_t)n_pairs * n_cols >= FRAPP_PARALLEL_MIN_WORDS)
+            threads = frapp_thread_budget();
+        Py_BEGIN_ALLOW_THREADS
+        frapp_run_chunks(and_pairs_worker, &ctx, n_pairs, threads);
+        Py_END_ALLOW_THREADS
+    }
+
+    PyBuffer_Release(&a);
+    PyBuffer_Release(&a_idx);
+    PyBuffer_Release(&b);
+    PyBuffer_Release(&b_idx);
+    PyBuffer_Release(&counts);
+    if (have_out) {
+        PyBuffer_Release(&out_words);
+        PyBuffer_Release(&out_idx);
+    }
+    Py_RETURN_NONE;
+
+fail:
+    if (have_out) {
+        PyBuffer_Release(&out_words);
+        PyBuffer_Release(&out_idx);
+    }
+fail_base:
+    PyBuffer_Release(&a);
+    PyBuffer_Release(&a_idx);
+    PyBuffer_Release(&b);
+    PyBuffer_Release(&b_idx);
+    PyBuffer_Release(&counts);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* fused gamma-diagonal sampling                                       */
+/* ------------------------------------------------------------------ */
+
+/* One record of the diagonal-or-other realisation; mirrors
+ * ``_realise_diagonal_or_other`` float-for-float. */
+static inline int64_t
+frapp_realise_one(int64_t value, double keep_draw, double shift_draw,
+                  double diag, int64_t n)
+{
+    if (keep_draw < diag) return value;
+    {
+        int64_t shift = 1 + (int64_t)(shift_draw * (double)(n - 1));
+        return (value + shift) % n;
+    }
+}
+
+/* Decode one joint index into record cells of the requested width,
+ * matching ``Schema.decode`` (C order, first attribute most
+ * significant: cell j = (joint / suffix_prod[j]) % card[j], realised
+ * here by repeated divmod from the last attribute up). */
+static inline void
+frapp_decode_one(int64_t value, const int64_t *cards, int64_t n_attrs,
+                 char *out_row, int itemsize)
+{
+    int64_t j;
+    for (j = n_attrs - 1; j >= 0; j--) {
+        int64_t card = cards[j];
+        int64_t cell = value % card;
+        value /= card;
+        switch (itemsize) {
+        case 1:
+            ((uint8_t *)out_row)[j] = (uint8_t)cell;
+            break;
+        case 2:
+            ((uint16_t *)out_row)[j] = (uint16_t)cell;
+            break;
+        case 4:
+            ((uint32_t *)out_row)[j] = (uint32_t)cell;
+            break;
+        default:
+            ((uint64_t *)out_row)[j] = (uint64_t)cell;
+            break;
+        }
+    }
+}
+
+/* realise(joint_buf, m, diag_buf_or_None, diag_scalar, n,
+ *         draws_buf, draws_width, keep_col, shift_col,
+ *         cards_buf_or_None, n_attrs, out_buf, out_itemsize) -> None
+ *
+ * With ``cards_buf`` None, ``out`` is an int64 joint-index buffer;
+ * otherwise ``out`` is an (m, n_attrs) record buffer of
+ * ``out_itemsize``-wide unsigned cells (int64 shares the 8-byte
+ * layout for the in-domain values written here).
+ */
+static PyObject *
+py_realise(PyObject *self, PyObject *args)
+{
+    PyObject *joint_obj, *diag_obj, *draws_obj, *cards_obj, *out_obj;
+    Py_ssize_t m, draws_width, keep_col, shift_col, n_attrs;
+    double diag_scalar;
+    long long n_ll;
+    int out_itemsize;
+    Py_buffer joint, diag, draws, cards, out;
+    int have_diag = 0, have_cards = 0;
+
+    if (!PyArg_ParseTuple(args, "OnOdLOnnnOnOi", &joint_obj, &m, &diag_obj,
+                          &diag_scalar, &n_ll, &draws_obj, &draws_width,
+                          &keep_col, &shift_col, &cards_obj, &n_attrs,
+                          &out_obj, &out_itemsize))
+        return NULL;
+    if (keep_col < 0 || keep_col >= draws_width || shift_col < 0 ||
+        shift_col >= draws_width) {
+        PyErr_SetString(PyExc_ValueError, "draw columns out of range");
+        return NULL;
+    }
+    if (frapp_get_buffer(joint_obj, &joint, 0, (int64_t)m * 8, "joint"))
+        return NULL;
+    if (diag_obj != Py_None) {
+        if (frapp_get_buffer(diag_obj, &diag, 0, (int64_t)m * 8, "diag")) {
+            PyBuffer_Release(&joint);
+            return NULL;
+        }
+        have_diag = 1;
+    }
+    if (frapp_get_buffer(draws_obj, &draws, 0, (int64_t)m * draws_width * 8,
+                         "draws")) {
+        PyBuffer_Release(&joint);
+        if (have_diag) PyBuffer_Release(&diag);
+        return NULL;
+    }
+    if (cards_obj != Py_None) {
+        if (frapp_get_buffer(cards_obj, &cards, 0, (int64_t)n_attrs * 8,
+                             "cards")) {
+            PyBuffer_Release(&joint);
+            if (have_diag) PyBuffer_Release(&diag);
+            PyBuffer_Release(&draws);
+            return NULL;
+        }
+        have_cards = 1;
+    }
+    {
+        int64_t out_bytes = have_cards
+                                ? (int64_t)m * n_attrs * out_itemsize
+                                : (int64_t)m * 8;
+        if (frapp_get_buffer(out_obj, &out, 1, out_bytes, "out")) {
+            PyBuffer_Release(&joint);
+            if (have_diag) PyBuffer_Release(&diag);
+            PyBuffer_Release(&draws);
+            if (have_cards) PyBuffer_Release(&cards);
+            return NULL;
+        }
+    }
+
+    Py_BEGIN_ALLOW_THREADS
+    {
+        const int64_t *joint_data = (const int64_t *)joint.buf;
+        const double *diag_data = have_diag ? (const double *)diag.buf : NULL;
+        const double *draw_data = (const double *)draws.buf;
+        const int64_t *card_data =
+            have_cards ? (const int64_t *)cards.buf : NULL;
+        int64_t n = (int64_t)n_ll, i;
+        for (i = 0; i < (int64_t)m; i++) {
+            const double *row = draw_data + i * draws_width;
+            double d = have_diag ? diag_data[i] : diag_scalar;
+            int64_t value = frapp_realise_one(joint_data[i], row[keep_col],
+                                              row[shift_col], d, n);
+            if (have_cards) {
+                frapp_decode_one(value, card_data, n_attrs,
+                                 (char *)out.buf +
+                                     i * n_attrs * out_itemsize,
+                                 out_itemsize);
+            } else {
+                ((int64_t *)out.buf)[i] = value;
+            }
+        }
+    }
+    Py_END_ALLOW_THREADS
+
+    PyBuffer_Release(&joint);
+    if (have_diag) PyBuffer_Release(&diag);
+    PyBuffer_Release(&draws);
+    if (have_cards) PyBuffer_Release(&cards);
+    PyBuffer_Release(&out);
+    Py_RETURN_NONE;
+}
+
+/* draw_realise(bitgen_addr, joint_buf, m, diag_scalar, n, draws_width,
+ *              keep_col, shift_col, cards_buf_or_None, n_attrs,
+ *              out_buf, out_itemsize) -> None
+ *
+ * Draws ``draws_width`` doubles per record straight from the NumPy
+ * bit generator at ``bitgen_addr`` -- the exact stream (and final
+ * generator state) of ``rng.random((m, draws_width))`` -- and fuses
+ * realisation (+ optional compact-dtype decode) into the same pass.
+ * Serial by construction: the draw order is the determinism contract.
+ */
+static PyObject *
+py_draw_realise(PyObject *self, PyObject *args)
+{
+    PyObject *joint_obj, *cards_obj, *out_obj;
+    Py_ssize_t m, draws_width, keep_col, shift_col, n_attrs;
+    double diag_scalar;
+    long long n_ll;
+    unsigned long long bitgen_addr;
+    int out_itemsize;
+    Py_buffer joint, cards, out;
+    int have_cards = 0;
+
+    if (!PyArg_ParseTuple(args, "KOndLnnnOnOi", &bitgen_addr, &joint_obj, &m,
+                          &diag_scalar, &n_ll, &draws_width, &keep_col,
+                          &shift_col, &cards_obj, &n_attrs, &out_obj,
+                          &out_itemsize))
+        return NULL;
+    if (bitgen_addr == 0) {
+        PyErr_SetString(PyExc_ValueError, "null bit-generator address");
+        return NULL;
+    }
+    if (keep_col < 0 || keep_col >= draws_width || shift_col < 0 ||
+        shift_col >= draws_width || keep_col == shift_col) {
+        PyErr_SetString(PyExc_ValueError, "draw columns out of range");
+        return NULL;
+    }
+    if (frapp_get_buffer(joint_obj, &joint, 0, (int64_t)m * 8, "joint"))
+        return NULL;
+    if (cards_obj != Py_None) {
+        if (frapp_get_buffer(cards_obj, &cards, 0, (int64_t)n_attrs * 8,
+                             "cards")) {
+            PyBuffer_Release(&joint);
+            return NULL;
+        }
+        have_cards = 1;
+    }
+    {
+        int64_t out_bytes = have_cards
+                                ? (int64_t)m * n_attrs * out_itemsize
+                                : (int64_t)m * 8;
+        if (frapp_get_buffer(out_obj, &out, 1, out_bytes, "out")) {
+            PyBuffer_Release(&joint);
+            if (have_cards) PyBuffer_Release(&cards);
+            return NULL;
+        }
+    }
+
+    Py_BEGIN_ALLOW_THREADS
+    {
+        frapp_bitgen_t *bitgen = (frapp_bitgen_t *)(uintptr_t)bitgen_addr;
+        const int64_t *joint_data = (const int64_t *)joint.buf;
+        const int64_t *card_data =
+            have_cards ? (const int64_t *)cards.buf : NULL;
+        int64_t n = (int64_t)n_ll, i, c;
+        double row[8];
+        for (i = 0; i < (int64_t)m; i++) {
+            int64_t value;
+            for (c = 0; c < (int64_t)draws_width; c++) {
+                row[c] = bitgen->next_double(bitgen->state);
+            }
+            value = frapp_realise_one(joint_data[i], row[keep_col],
+                                      row[shift_col], diag_scalar, n);
+            if (have_cards) {
+                frapp_decode_one(value, card_data, n_attrs,
+                                 (char *)out.buf + i * n_attrs * out_itemsize,
+                                 out_itemsize);
+            } else {
+                ((int64_t *)out.buf)[i] = value;
+            }
+        }
+    }
+    Py_END_ALLOW_THREADS
+
+    PyBuffer_Release(&joint);
+    if (have_cards) PyBuffer_Release(&cards);
+    PyBuffer_Release(&out);
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* module                                                              */
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef frapp_methods[] = {
+    {"popcount_all", py_popcount_all, METH_VARARGS,
+     "Total popcount of a contiguous uint64 word buffer (threaded)."},
+    {"popcount_rows", py_popcount_rows, METH_VARARGS,
+     "Per-row popcounts of a (R, W) uint64 matrix into an int64 buffer."},
+    {"and_groups", py_and_groups, METH_VARARGS,
+     "Fused AND-reduce + popcount over fixed-length row groups."},
+    {"and_pairs", py_and_pairs, METH_VARARGS,
+     "Fused pairwise AND + popcount with optional accumulator store."},
+    {"realise", py_realise, METH_VARARGS,
+     "Diagonal-or-other realisation from a pre-drawn uniform block."},
+    {"draw_realise", py_draw_realise, METH_VARARGS,
+     "Fused draw + realisation (+ optional decode) from a bit generator."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef frapp_module = {
+    PyModuleDef_HEAD_INIT,
+    "_native_kernels",
+    "Native SIMD counting & sampling kernels (see repro.mining.kernels."
+    "native for the typed wrappers).",
+    -1,
+    frapp_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__native_kernels(void)
+{
+    PyObject *module = PyModule_Create(&frapp_module);
+    if (module == NULL) return NULL;
+    if (PyModule_AddIntConstant(module, "KERNEL_ABI", 1) != 0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

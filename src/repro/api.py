@@ -141,8 +141,10 @@ class Session:
         :class:`~repro.pipeline.PerturbationPipeline` (in-process and
         one-shot when left at their defaults).
     count_backend:
-        Support-counting kernel (``"bitmap"`` or ``"loops"``) for
-        mechanisms that take one; ignored otherwise.
+        Support-counting kernel (``"bitmap"``, ``"loops"``, or
+        ``"native"`` -- the compiled threaded kernels, degrading to
+        ``"bitmap"`` when the extension is absent) for mechanisms
+        that take one; ignored otherwise.
     """
 
     def __init__(

@@ -59,6 +59,32 @@ from repro.stats.rng import as_generator
 
 _METHODS = ("vectorized", "sequential")
 
+# Resolved lazily: repro.mining imports repro.mechanisms (which imports
+# this module) at package init, so a top-level import of the kernel
+# wrappers would cycle.  By first perturb time everything is loaded.
+_native = None
+
+
+def _native_sampler(n):
+    """The fused native sampling module, or None if it must not be used.
+
+    Gates on the extension being importable (and not forced off via
+    ``REPRO_FORCE_PYTHON=1``) and on the joint domain fitting the
+    kernel's int64 shift arithmetic -- wide composite schemas whose
+    ``joint_size`` is an arbitrary-precision Python int never take
+    this path.  The fused kernels are float-for-float identical to the
+    NumPy sampler, so no opt-in knob exists: availability is the only
+    switch.
+    """
+    global _native
+    if _native is None:
+        from repro.mining.kernels import native
+
+        _native = native
+    if _native.sampling_active() and n <= _native.MAX_NATIVE_DOMAIN:
+        return _native
+    return None
+
 
 def _realise_diagonal_or_other(
     joint: np.ndarray,
@@ -153,6 +179,23 @@ class GammaDiagonalPerturbation:
     def perturb_chunk(self, records: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Perturb a raw ``(m, M)`` record array, advancing ``rng``."""
         if self.method == "vectorized":
+            sampler = _native_sampler(self.schema.joint_size)
+            if sampler is not None and records.shape[0]:
+                # Fully fused: uniforms are drawn from ``rng``'s bit
+                # generator inside the kernel (the identical stream of
+                # ``rng.random((m, 2))``) and perturbed cells land in
+                # the compact output dtype directly.
+                return sampler.draw_realise(
+                    rng,
+                    self.schema.encode(records),
+                    self.matrix.diagonal,
+                    self.schema.joint_size,
+                    width=2,
+                    keep_col=0,
+                    shift_col=1,
+                    cards=self.schema.cardinalities,
+                    out_dtype=records.dtype,
+                )
             diag = np.full(records.shape[0], self.matrix.diagonal)
             return _diagonal_or_other(self.schema, records, diag, rng)
         return self._perturb_sequential(records, rng)
@@ -173,6 +216,18 @@ class GammaDiagonalPerturbation:
         if records.shape[0] == 0:
             return records.copy()
         joint = self.schema.encode(records)
+        sampler = _native_sampler(self.schema.joint_size)
+        if sampler is not None:
+            return sampler.realise_from_uniforms(
+                joint,
+                self.matrix.diagonal,
+                self.schema.joint_size,
+                draws,
+                keep_col=0,
+                shift_col=1,
+                cards=self.schema.cardinalities,
+                out_dtype=records.dtype,
+            )
         return self.schema.decode(
             _realise_diagonal_or_other(
                 joint, self.matrix.diagonal, self.schema.joint_size, draws
@@ -190,6 +245,17 @@ class GammaDiagonalPerturbation:
         if self.method != "vectorized":
             records = self.schema.decode(joint)
             return self.schema.encode(self._perturb_sequential(records, rng))
+        sampler = _native_sampler(self.schema.joint_size)
+        if sampler is not None and joint.shape[0]:
+            return sampler.draw_realise(
+                rng,
+                joint,
+                self.matrix.diagonal,
+                self.schema.joint_size,
+                width=2,
+                keep_col=0,
+                shift_col=1,
+            )
         draws = rng.random((joint.shape[0], 2))
         return _realise_diagonal_or_other(
             joint, self.matrix.diagonal, self.schema.joint_size, draws
@@ -291,10 +357,11 @@ class RandomizedGammaDiagonalPerturbation:
         """
         if records.shape[0] == 0:
             return records.copy()
-        return self.schema.decode(
-            self.perturb_joint(self.schema.encode(records), rng),
-            dtype=records.dtype,
-        )
+        # Routing through the pre-drawn-block form keeps one code path
+        # for the fused native decode; the block is the same
+        # ``rng.random((m, 3))`` the joint sampler would draw.
+        draws = rng.random((records.shape[0], 3))
+        return self.perturb_from_uniforms(records, draws)
 
     #: Uniforms consumed per record: ``r`` realisation, keep decision,
     #: replacement shift.
@@ -312,9 +379,20 @@ class RandomizedGammaDiagonalPerturbation:
         draws = rng.random((joint.shape[0], 3))
         return self._joint_from_uniforms(joint, draws)
 
-    def _joint_from_uniforms(self, joint: np.ndarray, draws: np.ndarray) -> np.ndarray:
+    def _realised_diagonals(self, draws: np.ndarray) -> np.ndarray:
+        """Per-record realised diagonals from the blocks' first column."""
         r = (2.0 * draws[:, 0] - 1.0) * self.distribution.alpha
-        diag = self.distribution.diagonal(r)
+        return self.distribution.diagonal(r)
+
+    def _joint_from_uniforms(self, joint: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        diag = self._realised_diagonals(draws)
+        sampler = _native_sampler(self.schema.joint_size)
+        if sampler is not None and joint.shape[0]:
+            # Columns 1/2 of the full contiguous block are indexed in
+            # the kernel, avoiding the ``draws[:, 1:]`` view copy.
+            return sampler.realise_from_uniforms(
+                joint, diag, self.schema.joint_size, draws, keep_col=1, shift_col=2
+            )
         return _realise_diagonal_or_other(
             joint, diag, self.schema.joint_size, draws[:, 1:]
         )
@@ -328,8 +406,21 @@ class RandomizedGammaDiagonalPerturbation:
         """
         if records.shape[0] == 0:
             return records.copy()
+        joint = self.schema.encode(records)
+        sampler = _native_sampler(self.schema.joint_size)
+        if sampler is not None:
+            return sampler.realise_from_uniforms(
+                joint,
+                self._realised_diagonals(draws),
+                self.schema.joint_size,
+                draws,
+                keep_col=1,
+                shift_col=2,
+                cards=self.schema.cardinalities,
+                out_dtype=records.dtype,
+            )
         return self.schema.decode(
-            self._joint_from_uniforms(self.schema.encode(records), draws),
+            self._joint_from_uniforms(joint, draws),
             dtype=records.dtype,
         )
 

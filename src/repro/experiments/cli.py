@@ -15,6 +15,7 @@ and runs the always-on perturbation service:
    $ frapp serve --port 0        # the perturbation daemon (random port)
    $ frapp ledger ls             # per-tenant privacy-budget summaries
    $ frapp ledger show acme      # one tenant's full ledger
+   $ frapp kernels               # counting-backend / native-kernel report
 
 Execution knobs (``--workers``, ``--chunk-size``, ``--count-backend``,
 ``--backend``, ``--dispatch``, ``--jobs``) are shared across all
@@ -80,6 +81,7 @@ _EXPERIMENTS = (
     "cache",
     "serve",
     "ledger",
+    "kernels",
 )
 
 #: ``frapp cache`` maintenance verbs.
@@ -302,6 +304,58 @@ def _run_privacy(args) -> str:
     return "\n\n".join(blocks)
 
 
+def _run_kernels(args) -> str:
+    """``frapp kernels``: the counting-backend / native-kernel report.
+
+    Shows the requested versus active ``--count-backend`` (they differ
+    exactly when ``native`` was asked for on a pure-python install),
+    whether the compiled extension is importable, and whether
+    ``REPRO_FORCE_PYTHON=1`` is pinning the NumPy paths.  Ends with a
+    cross-backend probe: a fixed miniature dataset counted on every
+    available backend, asserting identical counts.
+    """
+    import numpy as np
+
+    from repro.data.dataset import CategoricalDataset
+    from repro.mining.counting import ExactSupportCounter
+    from repro.mining.itemsets import all_items
+    from repro.mining.kernels import COUNT_BACKENDS, native, resolve_backend
+
+    requested = args.count_backend
+    active = resolve_backend(requested)
+    info = native.status()
+    lines = [
+        "Native kernel layer",
+        f"  requested count-backend : {requested}",
+        f"  active count-backend    : {active}",
+        f"  extension available     : {'yes' if info['available'] else 'no'}",
+        f"  forced python (env)     : "
+        f"{'yes (REPRO_FORCE_PYTHON=1)' if info['forced_python'] else 'no'}",
+        f"  kernel ABI              : {info['abi'] if info['abi'] else '-'}",
+    ]
+    schema = census_schema()
+    rng = np.random.default_rng(20050405)
+    records = rng.integers(
+        0, [a.cardinality for a in schema], size=(257, schema.n_attributes)
+    )
+    dataset = CategoricalDataset(schema, records)
+    probe = list(all_items(schema))
+    counted = {
+        backend: ExactSupportCounter(dataset, backend).supports(probe)
+        for backend in COUNT_BACKENDS
+    }
+    agree = all(
+        np.array_equal(counted["loops"], counts) for counts in counted.values()
+    )
+    lines.append(
+        f"  cross-backend probe     : "
+        f"{'ok (identical counts)' if agree else 'MISMATCH'}"
+    )
+    if not agree:
+        raise SystemExit("\n".join(lines))
+    return "\n".join(lines)
+
+
 def _run_cache(args) -> str:
     """``frapp cache {ls,rm,gc}`` over the configured store."""
     operands = list(args.extra)
@@ -509,6 +563,7 @@ def _run_serve(args) -> int:
             if args.drain_deadline is None
             else args.drain_deadline
         ),
+        count_backend=args.count_backend,
     )
 
     def announce(port):
@@ -582,6 +637,13 @@ def main(argv=None) -> int:
         return 0
     if args.experiment == "privacy":
         print(_run_privacy(args))
+        return 0
+    if args.experiment == "kernels":
+        if args.extra:
+            raise SystemExit(
+                f"frapp kernels: unexpected operand(s) {args.extra!r}"
+            )
+        print(_run_kernels(args))
         return 0
     if args.extra:
         raise SystemExit(

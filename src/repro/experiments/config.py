@@ -79,8 +79,10 @@ class ExperimentConfig:
     workers: int = 1
     chunk_size: int | None = None
     #: Support-counting backend for every mining pass: ``"bitmap"``
-    #: (packed AND/popcount kernels, the default) or ``"loops"``
-    #: (per-subset ``bincount``).  Results are identical; see
+    #: (packed AND/popcount kernels, the default), ``"loops"``
+    #: (per-subset ``bincount``), or ``"native"`` (compiled threaded
+    #: AND+popcount, degrading to ``"bitmap"`` when the extension is
+    #: absent).  Results are identical; see
     #: :mod:`repro.mining.kernels`.
     count_backend: str = "bitmap"
     #: Dataset record-storage backend: ``"compact"`` (minimal cell

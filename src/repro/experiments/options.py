@@ -90,8 +90,10 @@ def execution_options() -> argparse.ArgumentParser:
         "--count-backend",
         choices=list(COUNT_BACKENDS),
         default="bitmap",
-        help="support-counting kernel: packed AND/popcount bitmaps (default) "
-        "or per-subset bincount loops (identical results)",
+        help="support-counting kernel: packed AND/popcount bitmaps (default), "
+        "per-subset bincount loops, or the compiled threaded kernels "
+        "(native; falls back to bitmap if the extension is absent -- "
+        "identical results either way)",
     )
     group.add_argument(
         "--counting-backend",

@@ -41,6 +41,7 @@ from repro.exceptions import DataError, MatrixError
 from repro.mechanisms.base import ColumnarMechanism, Mechanism, MechanismSpec
 from repro.mechanisms.registry import register
 from repro.mining.kernels import validate_backend
+from repro.mining.kernels.counting import BITMAP_BACKENDS
 from repro.stats.kronecker import KroneckerOperator
 
 
@@ -164,9 +165,13 @@ class GammaDiagonalMechanism(ColumnarMechanism):
             workers=workers,
             dispatch=dispatch,
         )
-        if self.count_backend == "bitmap" and isinstance(dataset, CategoricalDataset):
+        if self.count_backend in BITMAP_BACKENDS and isinstance(
+            dataset, CategoricalDataset
+        ):
             return BitmapStreamSupportEstimator(
-                pipeline.accumulate_bitmaps(dataset, seed=seed), self.gamma
+                pipeline.accumulate_bitmaps(dataset, seed=seed),
+                self.gamma,
+                count_backend=self.count_backend,
             )
         return AccumulatedSupportEstimator(
             pipeline.accumulate(dataset, seed=seed), self.gamma

@@ -20,12 +20,16 @@ Implementations:
   partial-support system.
 
 Every *observed*-support side (exact counting, and the counting pass of
-the DET-GD/RAN-GD and MASK estimators) runs on one of two backends,
+the DET-GD/RAN-GD and MASK estimators) runs on one of three backends,
 selected with ``count_backend``:
 
 * ``"bitmap"`` (default) -- the packed AND/popcount kernels of
   :mod:`repro.mining.kernels`: whole candidate batches per Apriori
   level, with the previous level's itemset bitmaps cached;
+* ``"native"`` -- the same bitmap layout counted by the compiled,
+  thread-parallel hardware-popcount kernels
+  (:mod:`repro.mining.kernels.native`); degrades to ``"bitmap"`` with
+  a one-time warning when the extension is absent;
 * ``"loops"`` -- the original per-subset ``bincount`` passes, kept as a
   dependency-free fallback and as the equivalence oracle.
 
@@ -48,9 +52,10 @@ from repro.mining.kernels import (
     BitmapSupportCounter,
     TransactionBitmaps,
     pattern_counts,
+    resolve_backend,
     validate_backend,
 )
-from repro.mining.kernels.counting import MAX_PATTERN_BITS
+from repro.mining.kernels.counting import BITMAP_BACKENDS, MAX_PATTERN_BITS
 
 
 def supports_from_subset_counts(
@@ -118,22 +123,25 @@ class ExactSupportCounter:
         The categorical dataset to count over.
     count_backend:
         ``"bitmap"`` (default) counts through the packed AND/popcount
-        kernel, built lazily on first use; ``"loops"`` keeps the
-        per-subset ``bincount`` path.  Both return identical values.
+        kernel, built lazily on first use; ``"native"`` counts the same
+        bitmaps with the compiled threaded kernels (resolved through
+        :func:`repro.mining.kernels.resolve_backend`); ``"loops"``
+        keeps the per-subset ``bincount`` path.  All return identical
+        values.
     """
 
     def __init__(self, dataset: CategoricalDataset, count_backend: str = "bitmap"):
         self.dataset = dataset
-        self.count_backend = validate_backend(count_backend)
+        self.count_backend = resolve_backend(count_backend)
         self._bitmap_counter: BitmapSupportCounter | None = None
 
     def supports(self, itemsets) -> np.ndarray:
         """Fraction of records supporting each itemset."""
         itemsets = list(itemsets)
-        if self.count_backend == "bitmap":
+        if self.count_backend in BITMAP_BACKENDS:
             if self._bitmap_counter is None:
                 self._bitmap_counter = BitmapSupportCounter.from_dataset(
-                    self.dataset
+                    self.dataset, backend=self.count_backend
                 )
             return self._bitmap_counter.supports(itemsets)
         return _subset_support_lookup(self.dataset, itemsets)
@@ -206,7 +214,7 @@ class MaskSupportEstimator:
         self.schema = schema
         self.perturbed_bits = perturbed_bits
         self.mask = mask
-        self.count_backend = validate_backend(count_backend)
+        self.count_backend = resolve_backend(count_backend)
         self._bitmaps: TransactionBitmaps | None = None
 
     def _pattern_counts(self, positions) -> np.ndarray:
@@ -214,7 +222,7 @@ class MaskSupportEstimator:
             self._bitmaps = TransactionBitmaps.from_boolean_matrix(
                 self.schema, self.perturbed_bits
             )
-        return pattern_counts(self._bitmaps, positions)
+        return pattern_counts(self._bitmaps, positions, backend=self.count_backend)
 
     def supports(self, itemsets) -> np.ndarray:
         """Tensor-power reconstruction per candidate (paper Section 7)."""
@@ -223,7 +231,10 @@ class MaskSupportEstimator:
         estimates = np.empty(len(itemsets))
         for i, itemset in enumerate(itemsets):
             positions = itemset.boolean_positions(self.schema)
-            if self.count_backend == "bitmap" and len(positions) <= MAX_PATTERN_BITS:
+            if (
+                self.count_backend in BITMAP_BACKENDS
+                and len(positions) <= MAX_PATTERN_BITS
+            ):
                 if n_records == 0:
                     raise DataError("empty perturbed database")
                 observed = self._pattern_counts(positions).astype(float)

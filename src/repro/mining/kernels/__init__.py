@@ -15,33 +15,45 @@ itemset bitmaps so a level-``k`` candidate costs a single AND.
 * :mod:`repro.mining.kernels.counting` -- the batched
   :class:`BitmapSupportCounter` (an Apriori ``SupportSource``), the
   MASK pattern-count kernel and the vectorized transaction compressor
-  used by FP-Growth.
+  used by FP-Growth;
+* :mod:`repro.mining.kernels.native` -- typed wrappers around the
+  optional compiled extension (``repro._native_kernels``): threaded
+  hardware-popcount AND reductions and the fused sample-and-encode
+  kernels, selected as ``count_backend=native``.
 
 Every kernel is *exact*: counts are integers identical to the
-``bincount`` loop path, so the two backends are interchangeable
-(``count_backend={"loops","bitmap"}`` throughout the library).
+``bincount`` loop path, so the backends are interchangeable
+(``count_backend={"loops","bitmap","native"}`` throughout the
+library; ``native`` degrades to ``bitmap`` via
+:func:`resolve_backend` when the extension is absent).
 """
 
+from repro.mining.kernels import native
 from repro.mining.kernels.bitmap import (
     TransactionBitmaps,
     pack_bit_rows,
     popcount_words,
 )
 from repro.mining.kernels.counting import (
+    BITMAP_BACKENDS,
     COUNT_BACKENDS,
     BitmapSupportCounter,
     compress_transactions,
     pattern_counts,
+    resolve_backend,
     validate_backend,
 )
 
 __all__ = [
+    "BITMAP_BACKENDS",
     "COUNT_BACKENDS",
     "BitmapSupportCounter",
     "TransactionBitmaps",
     "compress_transactions",
+    "native",
     "pack_bit_rows",
     "pattern_counts",
     "popcount_words",
+    "resolve_backend",
     "validate_backend",
 ]

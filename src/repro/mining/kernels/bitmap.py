@@ -32,6 +32,7 @@ from repro.data.backing import validate_in_domain
 from repro.data.dataset import CategoricalDataset
 from repro.data.schema import Schema, as_integer_array
 from repro.exceptions import DataError
+from repro.mining.kernels import native
 
 #: Bits per packed word.
 WORD_BITS = 64
@@ -44,6 +45,46 @@ _BYTE_POPCOUNT = np.array(
     [bin(i).count("1") for i in range(256)], dtype=np.uint8
 )
 
+# Module flag (rather than a per-call hasattr) so tests can force the
+# table branch and pin it against the builtin on the same inputs.
+_HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+# The table fallback walks the byte view in bounded slabs so its
+# intermediate (the gathered per-byte popcounts) stays ~2 MiB no
+# matter how large the word array is.
+_POPCOUNT_SLAB_BYTES = 1 << 21
+
+
+def _popcount_words_table(words: np.ndarray, axis) -> np.ndarray:
+    """Slabbed table-lookup popcount (numpy builds < 2.0).
+
+    Matches ``np.bitwise_count(words).sum(axis=axis, dtype=int64)``
+    exactly -- same reduced shape, same dtype -- but never gathers more
+    than a slab of per-byte counts at a time, where the old one-shot
+    lookup materialised an intermediate 8x the size of the word array.
+    """
+    if axis is None:
+        flat = words.reshape(-1).view(np.uint8)
+        total = 0
+        for start in range(0, flat.size, _POPCOUNT_SLAB_BYTES):
+            slab = flat[start : start + _POPCOUNT_SLAB_BYTES]
+            total += int(_BYTE_POPCOUNT[slab].sum(dtype=np.int64))
+        return np.int64(total)
+    moved = np.moveaxis(words, axis, -1)
+    lead_shape = moved.shape[:-1]
+    length = moved.shape[-1]
+    flat = np.ascontiguousarray(moved).reshape(-1, length)
+    out = np.empty(flat.shape[0], dtype=np.int64)
+    row_bytes = max(length * (WORD_BITS // 8), 1)
+    step = max(1, _POPCOUNT_SLAB_BYTES // row_bytes)
+    for start in range(0, flat.shape[0], step):
+        block = flat[start : start + step].view(np.uint8)
+        out[start : start + step] = _BYTE_POPCOUNT[block].sum(
+            axis=1, dtype=np.int64
+        )
+    result = out.reshape(lead_shape)
+    return result[()] if result.ndim == 0 else result
+
 
 def popcount_words(words: np.ndarray, axis=None) -> np.ndarray:
     """Number of set bits in an array of packed ``uint64`` words.
@@ -52,13 +93,9 @@ def popcount_words(words: np.ndarray, axis=None) -> np.ndarray:
     popcounts along ``axis`` (e.g. per candidate row).
     """
     words = np.asarray(words, dtype=_WORD_DTYPE)
-    if hasattr(np, "bitwise_count"):
-        per_word = np.bitwise_count(words)
-    else:  # pragma: no cover - exercised only on numpy < 2.0
-        per_word = _BYTE_POPCOUNT[words.view(np.uint8)].reshape(
-            words.shape + (WORD_BITS // 8,)
-        ).sum(axis=-1, dtype=np.uint64)
-    return per_word.sum(axis=axis, dtype=np.int64)
+    if _HAVE_BITWISE_COUNT:
+        return np.bitwise_count(words).sum(axis=axis, dtype=np.int64)
+    return _popcount_words_table(words, axis)
 
 
 def pack_bit_rows(bit_rows: np.ndarray) -> np.ndarray:
@@ -219,11 +256,20 @@ class TransactionBitmaps:
         rows = self.itemset_rows(itemset)
         return np.bitwise_and.reduce(self.words[rows], axis=0)
 
-    def itemset_count(self, itemset) -> int:
-        """Number of records supporting ``itemset`` (exact)."""
-        return int(popcount_words(self.itemset_words(itemset)))
+    def itemset_count(self, itemset, backend: str = "bitmap") -> int:
+        """Number of records supporting ``itemset`` (exact).
 
-    def subset_counts(self, positions) -> np.ndarray:
+        ``backend="native"`` runs the compiled fused AND+popcount
+        kernel (identical count, no intermediate bitmap row); any
+        other value takes the NumPy reduction.
+        """
+        rows = self.itemset_rows(itemset)
+        if backend == "native" and native.available():
+            groups = np.asarray([rows], dtype=np.int64)
+            return int(native.and_group_counts(self.words, groups)[0])
+        return int(popcount_words(np.bitwise_and.reduce(self.words[rows], axis=0)))
+
+    def subset_counts(self, positions, backend: str = "bitmap") -> np.ndarray:
         """Exact counts over an attribute subset's sub-domain.
 
         Indexed like :meth:`repro.data.schema.Schema.encode_subset`
@@ -235,6 +281,9 @@ class TransactionBitmaps:
         rows, without ever encoding joint-domain indices.  That is
         what lets wide-schema pipelines (joint domains beyond any
         materialisable count vector) answer the same marginal queries.
+
+        ``backend="native"`` batches every cell's AND+popcount into one
+        threaded kernel call (identical counts, same cell ordering).
         """
         positions = [int(p) for p in positions]
         if not positions:
@@ -245,6 +294,15 @@ class TransactionBitmaps:
             if not 0 <= p < len(self._cards):
                 raise DataError(f"attribute position {p} out of range")
         cards = [self._cards[p] for p in positions]
+        if backend == "native" and native.available():
+            # Cell rows for the whole sub-domain at once: np.indices
+            # enumerates C-order (first position most significant),
+            # matching the itertools.product walk below.
+            values = np.indices(cards, dtype=np.int64).reshape(len(cards), -1).T
+            offsets = np.asarray(
+                [self._offsets[p] for p in positions], dtype=np.int64
+            )
+            return native.and_group_counts(self.words, values + offsets)
         counts = np.empty(int(np.prod(cards)), dtype=np.int64)
         for cell, values in enumerate(itertools.product(*(range(c) for c in cards))):
             rows = [self._offsets[p] + v for p, v in zip(positions, values)]

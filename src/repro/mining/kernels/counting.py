@@ -21,20 +21,32 @@ Also here:
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.data.dataset import CategoricalDataset
 from repro.exceptions import DataError, MiningError
+from repro.mining.kernels import native
 from repro.mining.kernels.bitmap import TransactionBitmaps, popcount_words
 
 #: The selectable support-counting backends, everywhere a
 #: ``count_backend`` knob exists (config, CLI, estimators, miners).
-COUNT_BACKENDS = ("loops", "bitmap")
+COUNT_BACKENDS = ("loops", "bitmap", "native")
+
+#: The backends that count over packed transaction bitmaps.  ``native``
+#: is the compiled AND+popcount kernel; everywhere the code routes
+#: "bitmap-shaped" work (wide schemas, ``mine_stream``, the bitmap
+#: estimators) it accepts either member and passes the resolved value
+#: down to the word kernels.
+BITMAP_BACKENDS = ("bitmap", "native")
 
 #: Pattern spaces larger than this fall back to the loop path in the
 #: MASK bitmap estimator: 2^k AND/popcounts (and the 2^k x 2^k
 #: tensor-power solve downstream) stop paying off.
 MAX_PATTERN_BITS = 12
+
+_fallback_warned = False
 
 
 def validate_backend(backend: str) -> str:
@@ -44,6 +56,31 @@ def validate_backend(backend: str) -> str:
         raise MiningError(
             f"count_backend must be one of {COUNT_BACKENDS}, got {backend!r}"
         )
+    return backend
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate ``backend`` and downgrade ``native`` when unavailable.
+
+    ``native`` resolves to ``bitmap`` (identical counts, pure-NumPy
+    kernels) when the compiled extension is absent or disabled via
+    ``REPRO_FORCE_PYTHON=1``.  The downgrade warns exactly once per
+    process -- pure-sdist installs should run quietly, but operators
+    who *asked* for native deserve one breadcrumb.
+    """
+    global _fallback_warned
+    backend = validate_backend(backend)
+    if backend == "native" and not native.available():
+        if not _fallback_warned:
+            _fallback_warned = True
+            warnings.warn(
+                "count_backend=native requested but the compiled kernel "
+                "extension is unavailable; falling back to 'bitmap' "
+                "(identical results, NumPy kernels)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return "bitmap"
     return backend
 
 
@@ -57,6 +94,12 @@ class BitmapSupportCounter:
         (build with :meth:`from_dataset`, or fold chunks through
         :class:`repro.pipeline.BitmapAccumulator`).
 
+    backend:
+        ``"bitmap"`` (NumPy AND + popcount, the default) or ``"native"``
+        (the compiled threaded kernels; resolved through
+        :func:`resolve_backend`, so it silently degrades to ``bitmap``
+        on pure-python installs).  Both produce identical counts.
+
     Notes
     -----
     Counts are integers identical to the ``bincount`` loop path of
@@ -66,16 +109,25 @@ class BitmapSupportCounter:
     preceding level, so older levels can never be parents again.
     """
 
-    def __init__(self, bitmaps: TransactionBitmaps):
+    def __init__(self, bitmaps: TransactionBitmaps, backend: str = "bitmap"):
+        backend = resolve_backend(backend)
+        if backend not in BITMAP_BACKENDS:
+            raise MiningError(
+                f"BitmapSupportCounter backend must be one of "
+                f"{BITMAP_BACKENDS}, got {backend!r}"
+            )
         self.bitmaps = bitmaps
         self.schema = bitmaps.schema
+        self.backend = backend
         self._cache_rows: dict = {}
         self._cache_words: np.ndarray | None = None
 
     @classmethod
-    def from_dataset(cls, dataset: CategoricalDataset) -> "BitmapSupportCounter":
+    def from_dataset(
+        cls, dataset: CategoricalDataset, backend: str = "bitmap"
+    ) -> "BitmapSupportCounter":
         """Pack a dataset and wrap it in a counter."""
-        return cls(TransactionBitmaps.from_dataset(dataset))
+        return cls(TransactionBitmaps.from_dataset(dataset), backend=backend)
 
     # ------------------------------------------------------------------
     # batched counting
@@ -91,12 +143,14 @@ class BitmapSupportCounter:
         words = self.bitmaps.words
         batch = np.empty((len(itemsets), self.bitmaps.n_words), dtype=np.uint64)
 
+        single_out, single_rows = [], []
         cached_out, cached_parent, cached_last = [], [], []
         generic_by_length: dict[int, tuple[list, list]] = {}
         for i, itemset in enumerate(itemsets):
             rows = self.bitmaps.itemset_rows(itemset)
             if len(rows) == 1:
-                batch[i] = words[rows[0]]
+                single_out.append(i)
+                single_rows.append(rows)
                 continue
             parent_row = self._cache_rows.get(itemset.items[:-1])
             if parent_row is not None:
@@ -110,20 +164,52 @@ class BitmapSupportCounter:
                 out.append(i)
                 row_lists.append(rows)
 
-        if cached_out:
-            batch[cached_out] = np.bitwise_and(
-                self._cache_words[cached_parent], words[cached_last]
-            )
-        for out, row_lists in generic_by_length.values():
-            batch[out] = np.bitwise_and.reduce(
-                words[np.asarray(row_lists)], axis=1
-            )
+        if self.backend == "native":
+            # Fused path: each segment's AND lands in ``batch`` (the
+            # next level's cache) and its popcount comes back from the
+            # same kernel pass -- no second sweep over the words.
+            result = np.empty(len(itemsets), dtype=np.int64)
+            if single_out:
+                result[single_out] = native.and_group_counts(
+                    words,
+                    np.asarray(single_rows, dtype=np.int64),
+                    out_words=batch,
+                    out_idx=np.asarray(single_out, dtype=np.int64),
+                )
+            if cached_out:
+                result[cached_out] = native.and_pair_counts(
+                    self._cache_words,
+                    cached_parent,
+                    words,
+                    cached_last,
+                    out_words=batch,
+                    out_idx=cached_out,
+                )
+            for out, row_lists in generic_by_length.values():
+                result[out] = native.and_group_counts(
+                    words,
+                    np.asarray(row_lists, dtype=np.int64),
+                    out_words=batch,
+                    out_idx=np.asarray(out, dtype=np.int64),
+                )
+        else:
+            if single_out:
+                batch[single_out] = words[np.asarray(single_rows).reshape(-1)]
+            if cached_out:
+                batch[cached_out] = np.bitwise_and(
+                    self._cache_words[cached_parent], words[cached_last]
+                )
+            for out, row_lists in generic_by_length.values():
+                batch[out] = np.bitwise_and.reduce(
+                    words[np.asarray(row_lists)], axis=1
+                )
+            result = popcount_words(batch, axis=1)
 
         self._cache_rows = {
             itemset.items: i for i, itemset in enumerate(itemsets)
         }
         self._cache_words = batch
-        return popcount_words(batch, axis=1)
+        return result
 
     def supports(self, itemsets) -> np.ndarray:
         """Fraction of records supporting each itemset (exact)."""
@@ -132,14 +218,18 @@ class BitmapSupportCounter:
         return self.counts(itemsets) / self.bitmaps.n_records
 
 
-def pattern_counts(bitmaps: TransactionBitmaps, positions) -> np.ndarray:
+def pattern_counts(
+    bitmaps: TransactionBitmaps, positions, backend: str = "bitmap"
+) -> np.ndarray:
     """Exact counts of all ``2^k`` bit patterns over ``k`` bitmap rows.
 
     Index convention matches
     :meth:`repro.baselines.mask.MaskPerturbation.estimate_pattern_counts`:
     pattern code ``sum_i b_i * 2^(k-1-i)`` with ``b_i`` the bit at
     ``positions[i]`` (most significant first), so index ``2^k - 1`` is
-    the all-bits-set itemset count.
+    the all-bits-set itemset count.  ``backend="native"`` swaps each
+    node's popcount for the compiled threaded kernel (identical
+    counts); the lattice walk itself is shared.
 
     The kernel computes superset counts ``m[S]`` -- records with every
     bit of ``S`` set -- walking the subset lattice depth-first so each
@@ -154,6 +244,8 @@ def pattern_counts(bitmaps: TransactionBitmaps, positions) -> np.ndarray:
     if k > MAX_PATTERN_BITS:
         raise DataError(f"pattern space 2^{k} too large for the bitmap kernel")
     words = bitmaps.words
+    use_native = resolve_backend(backend) == "native"
+    count_one = native.popcount_total if use_native else popcount_words
     superset = np.empty(1 << k, dtype=np.int64)
     superset[0] = bitmaps.n_records
 
@@ -164,7 +256,7 @@ def pattern_counts(bitmaps: TransactionBitmaps, positions) -> np.ndarray:
             row = words[positions[i]]
             child = row if acc is None else acc & row
             child_mask = mask | (1 << (k - 1 - i))
-            superset[child_mask] = popcount_words(child)
+            superset[child_mask] = count_one(child)
             descend(i + 1, child, child_mask)
 
     descend(0, None, 0)

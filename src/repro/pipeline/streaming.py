@@ -37,7 +37,12 @@ from repro.mining.counting import (
     reconstruct_gamma_diagonal_supports,
     supports_from_subset_counts,
 )
-from repro.mining.kernels import BitmapSupportCounter, validate_backend
+from repro.mining.kernels import (
+    BitmapSupportCounter,
+    resolve_backend,
+    validate_backend,
+)
+from repro.mining.kernels.counting import BITMAP_BACKENDS
 from repro.pipeline.accumulator import BitmapAccumulator, JointCountAccumulator
 from repro.pipeline.chunking import DEFAULT_CHUNK_SIZE
 from repro.pipeline.executor import PerturbationPipeline
@@ -107,12 +112,22 @@ class BitmapStreamSupportEstimator:
     ``O(N * M_b / 8)`` versus the count vector's ``O(|S_U|)``; prefer
     this when the joint domain dwarfs the (packed) record stream or when
     per-level counting speed dominates.
+
+    ``count_backend`` selects the word kernels: ``"bitmap"`` (NumPy)
+    or ``"native"`` (compiled threaded AND+popcount; degrades to
+    ``"bitmap"`` when the extension is absent).  Identical estimates.
     """
 
-    def __init__(self, accumulator: BitmapAccumulator, gamma: float):
+    def __init__(
+        self,
+        accumulator: BitmapAccumulator,
+        gamma: float,
+        count_backend: str = "bitmap",
+    ):
         self.accumulator = accumulator
         self.schema = accumulator.schema
         self.gamma = float(gamma)
+        self.count_backend = resolve_backend(count_backend)
         self._counter: BitmapSupportCounter | None = None
 
     def supports(self, itemsets) -> np.ndarray:
@@ -125,7 +140,9 @@ class BitmapStreamSupportEstimator:
         # signals that the counter (and its level cache) is stale.
         bitmaps = self.accumulator.bitmaps
         if self._counter is None or self._counter.bitmaps is not bitmaps:
-            self._counter = BitmapSupportCounter(bitmaps)
+            self._counter = BitmapSupportCounter(
+                bitmaps, backend=self.count_backend
+            )
         observed = self._counter.supports(itemsets)
         return reconstruct_gamma_diagonal_supports(
             self.schema, observed, itemsets, self.gamma
@@ -187,14 +204,17 @@ def mine_stream(
     (e.g. :func:`repro.data.io.iter_csv_chunks` or an open ``.frd``
     memory map); ``"bitmap"`` folds packed transaction bitmaps --
     ``O(N * M_b / 8)`` memory, with every mining pass answered by the
-    vectorized AND/popcount kernel.  Both backends mine identical
-    itemsets for the same seed.  ``dispatch="shm"`` switches
-    multi-worker runs to zero-copy block dispatch (see
+    vectorized AND/popcount kernel; ``"native"`` folds the same
+    bitmaps and counts them with the compiled threaded kernels
+    (falling back to ``"bitmap"`` when the extension is absent).  All
+    backends mine identical itemsets for the same seed.
+    ``dispatch="shm"`` switches multi-worker runs to zero-copy block
+    dispatch (see
     :class:`~repro.pipeline.executor.PerturbationPipeline`).
     """
     if engine is None:
         engine = GammaDiagonalPerturbation(schema, gamma)
-    if validate_backend(count_backend) == "bitmap":
+    if validate_backend(count_backend) in BITMAP_BACKENDS:
         bitmap_accumulator = stream_perturbed_bitmaps(
             source,
             engine,
@@ -203,7 +223,9 @@ def mine_stream(
             seed=seed,
             dispatch=dispatch,
         )
-        estimator = BitmapStreamSupportEstimator(bitmap_accumulator, gamma)
+        estimator = BitmapStreamSupportEstimator(
+            bitmap_accumulator, gamma, count_backend=count_backend
+        )
     else:
         accumulator = stream_perturbed_counts(
             source,

@@ -156,6 +156,12 @@ class ServiceConfig:
     drain_deadline:
         Seconds :meth:`ServiceServer.stop` waits for in-flight
         requests to finish before cancelling their connections.
+    count_backend:
+        Support-counting kernel for collection estimators
+        (``loops`` / ``bitmap`` / ``native``); ``native`` resolves to
+        ``bitmap`` when the compiled extension is absent, and
+        ``/v1/health`` reports both the requested and the active
+        value so operators can tell which kernels actually run.
     """
 
     schema: Schema
@@ -172,6 +178,7 @@ class ServiceConfig:
     max_inflight: int = DEFAULT_MAX_INFLIGHT
     max_queued_rows: int = DEFAULT_MAX_QUEUED_ROWS
     drain_deadline: float = DEFAULT_DRAIN_DEADLINE
+    count_backend: str = "bitmap"
 
 
 class CollectionRuntime:
@@ -236,14 +243,31 @@ class CollectionRuntime:
         return {"start": start, "stop": stop, "perturbed": perturbed}
 
     def estimator(self) -> MarginalInversionEstimator:
-        """Support estimator over everything spooled so far."""
+        """Support estimator over everything spooled so far.
+
+        With ``count_backend=native`` active, the marginal queries run
+        as compiled AND+popcount over packed transaction bitmaps of
+        the spool (identical counts to the dataset path).
+        """
         if self.spool.n_records == 0:
             raise ServiceError(
                 f"collection {self.record.name!r} has no submissions yet",
                 code="empty_collection",
                 status=409,
             )
+        import functools
+
+        from repro.mining.kernels import TransactionBitmaps, resolve_backend
+
         dataset = self.spool.to_dataset()
+        backend = resolve_backend(self._service.config.count_backend)
+        if backend == "native":
+            bitmaps = TransactionBitmaps.from_dataset(dataset)
+            return MarginalInversionEstimator(
+                self.mechanism,
+                functools.partial(bitmaps.subset_counts, backend=backend),
+                dataset.n_records,
+            )
         return MarginalInversionEstimator(
             self.mechanism, dataset.subset_counts, dataset.n_records
         )
@@ -396,12 +420,21 @@ class PerturbationService:
     # ------------------------------------------------------------------
     def health(self) -> dict:
         """``GET /v1/health``."""
+        from repro.mining.kernels import native, resolve_backend
+
+        requested = self.config.count_backend
         return {
             "status": "ok",
             "wire_version": wire.WIRE_VERSION,
             "schema": wire.schema_descriptor(self.schema),
             "tenants": len(self._tenants),
             "collections": len(self._runtimes),
+            "counting": {
+                "requested_backend": requested,
+                "active_backend": resolve_backend(requested),
+                "native_available": native.available(),
+                "forced_python": native.forced_python(),
+            },
         }
 
     def ledger_summary(self, tenant: str | None = None) -> dict:

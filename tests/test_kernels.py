@@ -138,6 +138,7 @@ def test_bitmaps_reject_out_of_domain_records(survey_schema):
 def test_validate_backend():
     assert validate_backend("BITMAP") == "bitmap"
     assert validate_backend("loops") == "loops"
+    assert validate_backend("Native") == "native"
     with pytest.raises(MiningError):
         validate_backend("simd")
 
@@ -199,11 +200,16 @@ def test_supports_bit_identical_on_random_schemas(schema, seed, n):
     """Hypothesis: every Apriori-shaped batch counts identically."""
     dataset = _random_dataset(schema, seed, n)
     loops = ExactSupportCounter(dataset, count_backend="loops")
-    bitmap = ExactSupportCounter(dataset, count_backend="bitmap")
+    others = [
+        ExactSupportCounter(dataset, count_backend=backend)
+        for backend in ("bitmap", "native")
+    ]
     for batch in _apriori_levels(
         schema, ExactSupportCounter(dataset, "loops"), min_support=0.0
     ):
-        assert np.array_equal(loops.supports(batch), bitmap.supports(batch))
+        expected = loops.supports(batch)
+        for counter in others:
+            assert np.array_equal(expected, counter.supports(batch))
 
 
 @settings(max_examples=25, deadline=None)
@@ -254,19 +260,22 @@ def test_bitmap_accumulator_rejects_schema_mismatch(survey_dataset, tiny_schema)
 # ----------------------------------------------------------------------
 
 
-def test_gamma_diagonal_estimator_backends_agree(survey_schema, survey_dataset):
+@pytest.mark.parametrize("backend", ["bitmap", "native"])
+def test_gamma_diagonal_estimator_backends_agree(
+    survey_schema, survey_dataset, backend
+):
     gamma = 19.0
     perturbed = GammaDiagonalPerturbation(survey_schema, gamma).perturb(
         survey_dataset, seed=5
     )
     loops = GammaDiagonalSupportEstimator(perturbed, gamma, count_backend="loops")
-    bitmap = GammaDiagonalSupportEstimator(perturbed, gamma, count_backend="bitmap")
+    kernel = GammaDiagonalSupportEstimator(perturbed, gamma, count_backend=backend)
     itemsets = all_items(survey_schema) + [
         Itemset.of((0, 0), (1, 1)),
         Itemset.of((0, 1), (1, 0), (2, 1)),
     ]
     expected = loops.supports(itemsets)
-    got = bitmap.supports(itemsets)
+    got = kernel.supports(itemsets)
     assert np.allclose(expected, got, rtol=0, atol=0)
 
 
@@ -313,7 +322,8 @@ def test_mask_pattern_counts_equal_bincount(schema, seed):
 def test_mine_exact_backends_identical(survey_dataset):
     loops = mine_exact(survey_dataset, 0.05, count_backend="loops")
     bitmap = mine_exact(survey_dataset, 0.05, count_backend="bitmap")
-    assert loops.frequent() == bitmap.frequent()
+    native = mine_exact(survey_dataset, 0.05, count_backend="native")
+    assert loops.frequent() == bitmap.frequent() == native.frequent()
     assert loops.counts_by_length() == bitmap.counts_by_length()
 
 
@@ -328,7 +338,8 @@ def test_mine_stream_backends_identical(survey_dataset):
     )
     loops = mine_stream(survey_dataset, count_backend="loops", **kwargs)
     bitmap = mine_stream(survey_dataset, count_backend="bitmap", **kwargs)
-    assert loops.frequent() == bitmap.frequent()
+    native = mine_stream(survey_dataset, count_backend="native", **kwargs)
+    assert loops.frequent() == bitmap.frequent() == native.frequent()
 
 
 def test_bitmap_stream_estimator_matches_materialised_path(survey_dataset):
@@ -394,6 +405,51 @@ def test_miner_drivers_agree_across_backends(survey_dataset):
         backend: make_miner("det-gd", schema, 19.0, count_backend=backend)
         .mine(survey_dataset, 0.05, seed=33)
         .frequent()
-        for backend in ("loops", "bitmap")
+        for backend in ("loops", "bitmap", "native")
     }
-    assert results["loops"] == results["bitmap"]
+    assert results["loops"] == results["bitmap"] == results["native"]
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    schema=schemas(max_attributes=3, max_cardinality=3),
+    seed=SEEDS,
+    n=st.integers(1, 150),
+)
+def test_backend_worker_dispatch_matrix_bit_identical(schema, seed, n):
+    """Hypothesis: perturbed records and counts are invariant across the
+    full backend x workers x dispatch grid.
+
+    One reference cell (workers=1, pickle) pins the perturbed records;
+    every other execution cell must reproduce them bit for bit, and on
+    each cell's output all three count backends must return identical
+    Apriori-level supports.
+    """
+    dataset = _random_dataset(schema, seed, n)
+    engine = GammaDiagonalPerturbation(schema, 19.0)
+    items = all_items(schema)
+    queries = items + generate_candidates(items)[:30]
+    reference_records = None
+    reference_supports = None
+    for workers in (1, 4):
+        for dispatch in ("pickle", "shm"):
+            pipeline = PerturbationPipeline(
+                engine,
+                chunk_size=48,
+                workers=workers,
+                seeding="spawn",
+                dispatch=dispatch,
+            )
+            perturbed = pipeline.perturb(dataset, seed=seed % 1009)
+            if reference_records is None:
+                reference_records = np.asarray(perturbed.records).copy()
+            else:
+                assert np.array_equal(reference_records, perturbed.records)
+            for backend in ("loops", "bitmap", "native"):
+                supports = ExactSupportCounter(
+                    perturbed, count_backend=backend
+                ).supports(queries)
+                if reference_supports is None:
+                    reference_supports = supports
+                else:
+                    assert np.array_equal(reference_supports, supports)
